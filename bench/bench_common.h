@@ -1,0 +1,87 @@
+// Shared plumbing for the per-table / per-figure benchmark binaries.
+//
+// Every bench binary:
+//   * builds (lazily, once) an ExperimentEnv for its dataset at the bench
+//     scale (override with GROUTING_BENCH_SCALE, default 0.5),
+//   * registers one google-benchmark per configuration point, carrying the
+//     paper's metrics (throughput, response time, cache hit rate) as
+//     counters — wall time of a benchmark iteration is the simulation's
+//     execution cost, NOT the reproduced metric,
+//   * prints a paper-style results table plus the expected shape from the
+//     paper after the benchmark run, so bench_output.txt reads as an
+//     EXPERIMENTS log.
+
+#ifndef GROUTING_BENCH_BENCH_COMMON_H_
+#define GROUTING_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/core/grouting.h"
+#include "src/util/table.h"
+
+namespace grouting {
+namespace bench {
+
+inline double BenchScale() {
+  if (const char* s = std::getenv("GROUTING_BENCH_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0.0) {
+      return v;
+    }
+  }
+  return 0.5;
+}
+
+inline const std::vector<RoutingSchemeKind>& AllSchemes() {
+  static const std::vector<RoutingSchemeKind> kSchemes = {
+      RoutingSchemeKind::kNoCache, RoutingSchemeKind::kNextReady,
+      RoutingSchemeKind::kHash, RoutingSchemeKind::kLandmark,
+      RoutingSchemeKind::kEmbed};
+  return kSchemes;
+}
+
+inline void SetCounters(benchmark::State& state, const SimMetrics& m) {
+  state.counters["throughput_qps"] = m.throughput_qps;
+  state.counters["response_ms"] = m.mean_response_ms;
+  state.counters["hit_rate_pct"] = 100.0 * m.CacheHitRate();
+  state.counters["cache_hits"] = static_cast<double>(m.cache_hits);
+  state.counters["cache_misses"] = static_cast<double>(m.cache_misses);
+  state.counters["steals"] = static_cast<double>(m.steals);
+}
+
+// One collected row for the post-run summary table.
+struct ResultRow {
+  std::string label;
+  SimMetrics metrics;
+};
+
+inline void PrintMetricsTable(const std::string& title,
+                              const std::vector<ResultRow>& rows) {
+  Table t({"configuration", "throughput (q/s)", "response (ms)", "hit rate (%)",
+           "cache hits", "cache misses", "steals"});
+  for (const auto& row : rows) {
+    t.AddRow({row.label, Table::Num(row.metrics.throughput_qps, 1),
+              Table::Num(row.metrics.mean_response_ms, 3),
+              Table::Num(100.0 * row.metrics.CacheHitRate(), 1),
+              Table::Int(static_cast<int64_t>(row.metrics.cache_hits)),
+              Table::Int(static_cast<int64_t>(row.metrics.cache_misses)),
+              Table::Int(static_cast<int64_t>(row.metrics.steals))});
+  }
+  std::printf("\n=== %s ===\n%s", title.c_str(), t.ToString().c_str());
+  std::fflush(stdout);
+}
+
+inline void PrintPaperShape(const char* shape) {
+  std::printf("--- paper shape: %s\n", shape);
+  std::fflush(stdout);
+}
+
+}  // namespace bench
+}  // namespace grouting
+
+#endif  // GROUTING_BENCH_BENCH_COMMON_H_

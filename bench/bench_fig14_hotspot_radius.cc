@@ -1,0 +1,59 @@
+// Figure 14: r-hop hotspot, 2-hop traversal workloads for r in {1, 2} —
+// response time plus cache hits/misses for all five schemes (webgraph-like).
+//
+// Paper: smart routing beats the baselines for both radii; tighter hotspots
+// (r=1) overlap more, widening the gap.
+
+#include "bench/bench_common.h"
+
+namespace grouting {
+namespace bench {
+namespace {
+
+ExperimentEnv& Env() {
+  static ExperimentEnv env(DatasetId::kWebGraphLike, BenchScale());
+  return env;
+}
+
+std::vector<ResultRow>& Rows() {
+  static std::vector<ResultRow> rows;
+  return rows;
+}
+
+void BM_Fig14(benchmark::State& state) {
+  const auto scheme = AllSchemes()[static_cast<size_t>(state.range(0))];
+  const auto r = static_cast<int32_t>(state.range(1));
+  RunOptions opts;
+  opts.scheme = scheme;
+  opts.hotspot_radius = r;
+  opts.hops = 2;
+  SimMetrics m;
+  for (auto _ : state) {
+    m = Env().RunDecoupled(opts);
+  }
+  SetCounters(state, m);
+  char label[96];
+  std::snprintf(label, sizeof(label), "%s r=%d", RoutingSchemeKindName(scheme).c_str(), r);
+  Rows().push_back({label, m});
+}
+
+BENCHMARK(BM_Fig14)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {1, 2}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace grouting
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  grouting::bench::PrintMetricsTable(
+      "Figure 14: r-hop hotspot, 2-hop traversal (response + hits/misses)",
+      grouting::bench::Rows());
+  grouting::bench::PrintPaperShape(
+      "landmark/embed obtain far more cache hits and lower response than "
+      "next_ready/hash for both r=1 and r=2; no_cache is the upper response bound.");
+  return 0;
+}

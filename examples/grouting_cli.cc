@@ -1,0 +1,159 @@
+// gRouting experiment CLI: run any cluster configuration from the command
+// line without writing code.
+//
+//   ./grouting_cli --dataset=webgraph --scale=0.3 --scheme=embed \
+//                  --processors=7 --storage=4 --cache=16MB \
+//                  --radius=2 --hops=2 --hotspots=100 --per-hotspot=10 \
+//                  --network=infiniband --load-factor=20 --alpha=0.5
+//
+// Prints the run's metrics as a table. `--help` lists everything.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "src/core/grouting.h"
+
+using namespace grouting;
+
+namespace {
+
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  std::string Get(const std::string& key, const std::string& def) const {
+    auto it = values.find(key);
+    return it == values.end() ? def : it->second;
+  }
+  double GetDouble(const std::string& key, double def) const {
+    auto it = values.find(key);
+    return it == values.end() ? def : std::atof(it->second.c_str());
+  }
+  int64_t GetInt(const std::string& key, int64_t def) const {
+    auto it = values.find(key);
+    return it == values.end() ? def : std::atoll(it->second.c_str());
+  }
+};
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg(argv[i]);
+    if (arg.rfind("--", 0) != 0) {
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flags.values[arg] = "1";
+    } else {
+      flags.values[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+  return flags;
+}
+
+void PrintHelp() {
+  std::printf(
+      "gRouting experiment CLI\n"
+      "  --dataset=webgraph|friendster|memetracker|freebase   (default webgraph)\n"
+      "  --scale=<float>          dataset scale               (default 0.25)\n"
+      "  --scheme=no_cache|next_ready|hash|landmark|embed     (default embed)\n"
+      "  --processors=<int>       query processors            (default 7)\n"
+      "  --storage=<int>          storage servers             (default 4)\n"
+      "  --cache=<size>           per-processor cache, e.g. 16MB; 0 = ample\n"
+      "  --policy=lru|fifo|lfu|clock                          (default lru)\n"
+      "  --network=infiniband|ethernet                        (default infiniband)\n"
+      "  --radius=<int> --hops=<int>                          (defaults 2, 2)\n"
+      "  --hotspots=<int> --per-hotspot=<int>                 (defaults 100, 10)\n"
+      "  --landmarks=<int> --separation=<int> --dims=<int>\n"
+      "  --load-factor=<float> --alpha=<float> --no-stealing\n"
+      "  --seed=<int>\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = ParseFlags(argc, argv);
+  if (flags.values.count("help")) {
+    PrintHelp();
+    return 0;
+  }
+
+  static const std::map<std::string, DatasetId> kDatasets = {
+      {"webgraph", DatasetId::kWebGraphLike},
+      {"friendster", DatasetId::kFriendsterLike},
+      {"memetracker", DatasetId::kMemetrackerLike},
+      {"freebase", DatasetId::kFreebaseLike},
+  };
+  static const std::map<std::string, RoutingSchemeKind> kSchemes = {
+      {"no_cache", RoutingSchemeKind::kNoCache},
+      {"next_ready", RoutingSchemeKind::kNextReady},
+      {"hash", RoutingSchemeKind::kHash},
+      {"landmark", RoutingSchemeKind::kLandmark},
+      {"embed", RoutingSchemeKind::kEmbed},
+  };
+  static const std::map<std::string, CachePolicy> kPolicies = {
+      {"lru", CachePolicy::kLru},
+      {"fifo", CachePolicy::kFifo},
+      {"lfu", CachePolicy::kLfu},
+      {"clock", CachePolicy::kClock},
+  };
+
+  const std::string dataset_name = flags.Get("dataset", "webgraph");
+  const std::string scheme_name = flags.Get("scheme", "embed");
+  if (kDatasets.count(dataset_name) == 0 || kSchemes.count(scheme_name) == 0) {
+    std::fprintf(stderr, "unknown --dataset or --scheme; see --help\n");
+    return 1;
+  }
+
+  ExperimentEnv env(kDatasets.at(dataset_name), flags.GetDouble("scale", 0.25),
+                    static_cast<uint64_t>(flags.GetInt("seed", 4242)));
+
+  RunOptions opts;
+  opts.scheme = kSchemes.at(scheme_name);
+  opts.processors = static_cast<uint32_t>(flags.GetInt("processors", 7));
+  opts.storage_servers = static_cast<uint32_t>(flags.GetInt("storage", 4));
+  opts.cache_bytes = ParseByteSize(flags.Get("cache", "0"));
+  opts.cache_policy = kPolicies.count(flags.Get("policy", "lru"))
+                          ? kPolicies.at(flags.Get("policy", "lru"))
+                          : CachePolicy::kLru;
+  opts.cost = flags.Get("network", "infiniband") == "ethernet"
+                  ? CostModel::EthernetDefaults()
+                  : CostModel::InfinibandDefaults();
+  opts.hotspot_radius = static_cast<int32_t>(flags.GetInt("radius", 2));
+  opts.hops = static_cast<int32_t>(flags.GetInt("hops", 2));
+  opts.num_hotspots = static_cast<size_t>(flags.GetInt("hotspots", 100));
+  opts.queries_per_hotspot = static_cast<size_t>(flags.GetInt("per-hotspot", 10));
+  opts.num_landmarks = static_cast<size_t>(flags.GetInt("landmarks", 96));
+  opts.min_separation = static_cast<int32_t>(flags.GetInt("separation", 3));
+  opts.dimensions = static_cast<size_t>(flags.GetInt("dims", 10));
+  opts.load_factor = flags.GetDouble("load-factor", 20.0);
+  opts.alpha = flags.GetDouble("alpha", 0.5);
+  opts.stealing = flags.values.count("no-stealing") == 0;
+
+  const Graph& g = env.graph();
+  std::printf("dataset %s (scale %.2f): %zu nodes, %zu edges\n", dataset_name.c_str(),
+              flags.GetDouble("scale", 0.25), g.num_nodes(), g.num_edges());
+  std::printf("running %s on %u processors / %u storage servers (%s)...\n",
+              scheme_name.c_str(), opts.processors, opts.storage_servers,
+              opts.cost.net.name.c_str());
+
+  const SimMetrics m = env.RunDecoupled(opts);
+
+  Table t({"metric", "value"});
+  t.AddRow({"queries", Table::Int(static_cast<int64_t>(m.queries))});
+  t.AddRow({"throughput", Table::Num(m.throughput_qps, 1) + " q/s"});
+  t.AddRow({"mean response", Table::Num(m.mean_response_ms, 3) + " ms"});
+  t.AddRow({"p95 response", Table::Num(m.p95_response_ms, 3) + " ms"});
+  t.AddRow({"mean queue wait", Table::Num(m.mean_queue_wait_ms, 3) + " ms"});
+  t.AddRow({"cache hit rate", Table::Num(100.0 * m.CacheHitRate(), 1) + " %"});
+  t.AddRow({"cache hits / misses", Table::Int(static_cast<int64_t>(m.cache_hits)) + " / " +
+                                       Table::Int(static_cast<int64_t>(m.cache_misses))});
+  t.AddRow({"bytes from storage", Table::Bytes(m.bytes_from_storage)});
+  t.AddRow({"storage batches", Table::Int(static_cast<int64_t>(m.storage_batches))});
+  t.AddRow({"steals", Table::Int(static_cast<int64_t>(m.steals))});
+  std::printf("%s", t.ToString().c_str());
+  return 0;
+}

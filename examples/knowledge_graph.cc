@@ -1,0 +1,79 @@
+// Knowledge-graph querying (paper intro, example 3: "find all papers on
+// distributed graph systems which are a result of collaboration between
+// researchers from UC Berkeley and CMU" — i.e. label/distance-constrained
+// reachability).
+//
+// Runs label-constrained h-hop reachability over a Freebase-like sparse
+// labeled graph on the discrete-event cluster, comparing landmark routing
+// with hash routing, and demonstrates the bidirectional BFS the paper's
+// dual-direction storage layout enables.
+
+#include <cstdio>
+
+#include "src/core/grouting.h"
+
+using namespace grouting;
+
+int main() {
+  // Freebase-like: ~50k entities at this scale, sparse, labeled.
+  ExperimentEnv env(DatasetId::kFreebaseLike, /*scale=*/0.5, /*seed=*/11);
+  const Graph& g = env.graph();
+  std::printf("knowledge graph: %zu entities, %zu relations\n", g.num_nodes(),
+              g.num_edges());
+
+  // Workload: hotspot-grouped reachability queries, some label-constrained
+  // ("path must pass through entities of a given type").
+  Rng rng(9);
+  std::vector<Query> queries;
+  uint64_t id = 0;
+  for (int hotspot = 0; hotspot < 80; ++hotspot) {
+    const auto center = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    const auto region = KHopNeighborhood(g, center, 2);
+    for (int i = 0; i < 8; ++i) {
+      Query q;
+      q.id = id++;
+      q.type = QueryType::kReachability;
+      q.node = region.empty() ? center
+                              : region[rng.NextBounded(region.size())];
+      q.hops = 4;
+      // Half the targets are nearby (reachable), half uniform.
+      const auto near = KHopNeighborhood(g, q.node, 4);
+      q.target = (!near.empty() && rng.NextBool(0.5))
+                     ? near[rng.NextBounded(near.size())]
+                     : static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+      if (rng.NextBool(0.3)) {
+        q.label_filter = static_cast<Label>(1 + rng.NextBounded(64));
+      }
+      queries.push_back(q);
+    }
+  }
+  std::printf("workload: %zu reachability queries (30%% label-constrained, h=4)\n\n",
+              queries.size());
+
+  Table t({"routing", "throughput (q/s)", "response (ms)", "hit rate", "reachable"});
+  for (auto scheme : {RoutingSchemeKind::kHash, RoutingSchemeKind::kLandmark}) {
+    SimConfig sc;
+    sc.num_processors = 7;
+    sc.num_storage_servers = 4;
+    sc.processor.cache_bytes = env.AmpleCacheBytes();
+    RunOptions opts;
+    opts.scheme = scheme;
+    DecoupledClusterSim sim(g, sc, env.MakeStrategy(opts));
+    const SimMetrics m = sim.Run(queries);
+    uint64_t reachable = 0;
+    for (const auto& r : sim.results()) {
+      reachable += r.reachable;
+    }
+    t.AddRow({RoutingSchemeKindName(scheme), Table::Num(m.throughput_qps, 1),
+              Table::Num(m.mean_response_ms, 3),
+              Table::Num(100.0 * m.CacheHitRate(), 1) + "%",
+              Table::Int(static_cast<int64_t>(reachable))});
+  }
+  std::printf("%s", t.ToString().c_str());
+  std::printf(
+      "\nReachability runs as a BIDIRECTIONAL BFS: forward over out-edges from the\n"
+      "source, backward over in-edges from the target — possible because every\n"
+      "adjacency entry stores both directions (paper Fig. 3). Label constraints\n"
+      "are enforced on intermediate entities during the search.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Quickstart: build a graph, stand up a decoupled gRouting cluster in the
+// discrete-event simulator, and compare smart routing against the
+// baselines on a hotspot workload.
+//
+//   $ ./examples/quickstart
+//
+// This is the 5-minute tour of the public API: ExperimentEnv hides the
+// preprocessing (landmark BFS, graph embedding) and cluster assembly; see
+// the other examples for manual wiring.
+
+#include <cstdio>
+
+#include "src/core/grouting.h"
+
+using namespace grouting;  // examples only; library code never does this
+
+int main() {
+  // 1. A scaled-down web-graph-like dataset (communities + shared regional
+  //    hubs, heavy degree tail — see DESIGN.md for the substitution).
+  ExperimentEnv env(DatasetId::kWebGraphLike, /*scale=*/0.25, /*seed=*/2024);
+  const Graph& g = env.graph();
+  std::printf("graph: %zu nodes, %zu edges (%s as adjacency lists)\n", g.num_nodes(),
+              g.num_edges(), Table::Bytes(g.TotalAdjacencyBytes()).c_str());
+
+  // 2. The paper's workload: 100 hotspots x 10 queries, each within 2 hops
+  //    of its hotspot centre; a uniform mixture of neighbour aggregation,
+  //    random walk, and reachability queries, all 2-hop.
+  auto queries = env.HotspotWorkload(/*r=*/2, /*h=*/2);
+  std::printf("workload: %zu hotspot-grouped queries\n\n", queries.size());
+
+  // 3. Run the same workload under each routing scheme on a cold cluster:
+  //    1 router, 7 query processors, 4 storage servers over Infiniband.
+  Table t({"routing scheme", "throughput (q/s)", "response (ms)", "cache hit rate"});
+  for (auto scheme : {RoutingSchemeKind::kNoCache, RoutingSchemeKind::kNextReady,
+                      RoutingSchemeKind::kHash, RoutingSchemeKind::kLandmark,
+                      RoutingSchemeKind::kEmbed}) {
+    RunOptions opts;
+    opts.scheme = scheme;
+    const SimMetrics m = env.RunDecoupled(opts, queries);
+    t.AddRow({RoutingSchemeKindName(scheme), Table::Num(m.throughput_qps, 1),
+              Table::Num(m.mean_response_ms, 3),
+              Table::Num(100.0 * m.CacheHitRate(), 1) + "%"});
+  }
+  std::printf("%s", t.ToString().c_str());
+  std::printf(
+      "\nSmart routing (landmark/embed) sends queries on nearby nodes to the same\n"
+      "processor, so successive hotspot queries find their 2-hop neighbourhoods\n"
+      "already cached — with plain hash partitioning across the storage tier.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Ego-centric social-network queries (paper intro, example 2: "user Alice
+// may search for her connections within 2-hops who are currently employed
+// by Google").
+//
+// Builds a labeled social graph, wires the decoupled cluster MANUALLY
+// (storage tier + processors + router), and runs label-constrained 2-hop
+// aggregation queries through the REAL threaded runtime — the closest thing
+// to the paper's live cluster in one process.
+
+#include <cstdio>
+
+#include "src/core/grouting.h"
+
+using namespace grouting;
+
+namespace {
+
+constexpr Label kEmployerAcme = 7;  // node label: "works at Acme"
+
+// A social network: friend circles with popular accounts (shared hubs).
+Graph BuildSocialGraph() {
+  LocalityWebConfig cfg;
+  cfg.grid_width = 10;
+  cfg.grid_height = 10;
+  cfg.community_size = 80;    // friend circles
+  cfg.intra_degree = 8;
+  cfg.inter_degree = 2;
+  cfg.hub_zone = 3;
+  cfg.hubs_per_zone = 2;      // popular accounts
+  cfg.hub_link_prob = 0.5;
+  cfg.labels.num_node_labels = 12;  // employers
+  cfg.labels.num_edge_labels = 3;   // friend / colleague / family
+  return GenerateLocalityWeb(cfg, 77);
+}
+
+}  // namespace
+
+int main() {
+  Graph g = BuildSocialGraph();
+  std::printf("social graph: %zu users, %zu links\n", g.num_nodes(), g.num_edges());
+
+  // Ego-centric workload: for each "Alice", count 2-hop connections employed
+  // by Acme (label-constrained neighbour aggregation).
+  Rng rng(3);
+  std::vector<Query> queries;
+  for (uint64_t id = 0; id < 400; ++id) {
+    Query q;
+    q.id = id;
+    q.type = QueryType::kNeighborAggregation;
+    q.node = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    q.hops = 2;
+    q.label_filter = kEmployerAcme;
+    queries.push_back(q);
+  }
+
+  // Manual cluster assembly on the threaded runtime: 4 processor threads,
+  // 2 storage servers, 8 MB cache each, embed routing.
+  LandmarkConfig lc;
+  lc.num_landmarks = 32;
+  lc.seed = 5;
+  auto landmarks = LandmarkSet::Select(g, lc);
+  EmbedConfig ec;
+  ec.seed = 6;
+  auto embedding = GraphEmbedding::Build(landmarks, ec);
+  std::printf("preprocessing: %zu landmarks (BFS %.2fs), embedding %.2fs\n",
+              landmarks.count(), landmarks.stats().bfs_seconds,
+              embedding.stats().node_embed_seconds);
+
+  ThreadedConfig tc;
+  tc.num_processors = 4;
+  tc.num_storage_servers = 2;
+  tc.processor.cache_bytes = 8 << 20;
+  ThreadedCluster cluster(
+      g, tc, std::make_unique<EmbedStrategy>(&embedding, 0.5, 20.0, tc.num_processors));
+
+  std::vector<ThreadedCluster::AnsweredQuery> answers;
+  const ThreadedMetrics m = cluster.Run(queries, &answers);
+
+  uint64_t total_matches = 0;
+  uint64_t max_matches = 0;
+  for (const auto& a : answers) {
+    total_matches += a.result.aggregate;
+    max_matches = std::max(max_matches, a.result.aggregate);
+  }
+  std::printf(
+      "\nanswered %llu ego-centric queries in %.3fs (%.0f q/s, real threads)\n"
+      "cache hit rate %.1f%%, %llu steals\n"
+      "avg 2-hop contacts at Acme per user: %.1f (max %llu)\n",
+      static_cast<unsigned long long>(m.queries), m.wall_seconds, m.throughput_qps,
+      100.0 * static_cast<double>(m.cache_hits) /
+          static_cast<double>(m.cache_hits + m.cache_misses),
+      static_cast<unsigned long long>(m.steals),
+      static_cast<double>(total_matches) / static_cast<double>(answers.size()),
+      static_cast<unsigned long long>(max_matches));
+  return 0;
+}

@@ -1,0 +1,19 @@
+#include "src/cache/cache.h"
+
+namespace grouting {
+
+std::string CachePolicyName(CachePolicy policy) {
+  switch (policy) {
+    case CachePolicy::kLru:
+      return "lru";
+    case CachePolicy::kFifo:
+      return "fifo";
+    case CachePolicy::kLfu:
+      return "lfu";
+    case CachePolicy::kClock:
+      return "clock";
+  }
+  return "unknown";
+}
+
+}  // namespace grouting

@@ -1,0 +1,225 @@
+// Byte-bounded node cache for query processors.
+//
+// The paper uses LRU ("usually implemented as the default cache replacement
+// policy, and it favors recent queries — thus it performs well with our smart
+// routing schemes"). We implement LRU plus FIFO / LFU / CLOCK alternatives
+// for the cache-policy ablation bench, behind one eviction-strategy seam.
+//
+// Capacity is measured in BYTES (each entry is charged its serialised
+// adjacency size), matching the paper's "4 GB cache per processor" framing.
+
+#ifndef GROUTING_SRC_CACHE_CACHE_H_
+#define GROUTING_SRC_CACHE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/util/check.h"
+
+namespace grouting {
+
+enum class CachePolicy {
+  kLru,
+  kFifo,
+  kLfu,
+  kClock,
+};
+
+std::string CachePolicyName(CachePolicy policy);
+
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;
+  uint64_t rejected = 0;  // entries larger than the whole cache
+  uint64_t bytes_evicted = 0;
+
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+// Single-owner (per-processor) cache mapping NodeId -> V.
+// V must be cheaply copyable (we store shared_ptr-like handles).
+template <typename V>
+class NodeCache {
+ public:
+  explicit NodeCache(uint64_t capacity_bytes, CachePolicy policy = CachePolicy::kLru)
+      : capacity_bytes_(capacity_bytes), policy_(policy) {}
+
+  // Looks up a node, updating recency/frequency state and hit/miss counters.
+  std::optional<V> Get(NodeId key);
+
+  // Probe without touching stats or policy state (for tests / introspection).
+  bool Contains(NodeId key) const { return map_.count(key) > 0; }
+
+  // Inserts (or overwrites) an entry charged `bytes`, evicting per policy
+  // until the entry fits. Oversized entries are rejected, not cached.
+  void Put(NodeId key, V value, uint64_t bytes);
+
+  void Erase(NodeId key);
+  void Clear();
+
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+  uint64_t size_bytes() const { return size_bytes_; }
+  size_t entry_count() const { return map_.size(); }
+  CachePolicy policy() const { return policy_; }
+  const CacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = CacheStats{}; }
+
+ private:
+  struct Entry {
+    NodeId key;
+    V value;
+    uint64_t bytes;
+    uint64_t freq = 1;     // LFU
+    bool referenced = true;  // CLOCK
+  };
+  using EntryList = std::list<Entry>;
+
+  void EvictOne();
+
+  uint64_t capacity_bytes_;
+  CachePolicy policy_;
+  uint64_t size_bytes_ = 0;
+  CacheStats stats_;
+  // entries_ order semantics: front = next eviction candidate region.
+  //   LRU  : most-recent at back; evict front.
+  //   FIFO : insertion order; evict front.
+  //   LFU  : unordered; eviction scans for min freq (small caches; fine).
+  //   CLOCK: circular scan with hand_ and reference bits.
+  EntryList entries_;
+  std::unordered_map<NodeId, typename EntryList::iterator> map_;
+  typename EntryList::iterator hand_ = entries_.end();  // CLOCK hand
+};
+
+// ---- implementation ----
+
+template <typename V>
+std::optional<V> NodeCache<V>::Get(NodeId key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  auto entry_it = it->second;
+  entry_it->freq += 1;
+  entry_it->referenced = true;
+  if (policy_ == CachePolicy::kLru) {
+    entries_.splice(entries_.end(), entries_, entry_it);  // move to back (MRU)
+  }
+  return entry_it->value;
+}
+
+template <typename V>
+void NodeCache<V>::Put(NodeId key, V value, uint64_t bytes) {
+  if (bytes > capacity_bytes_) {
+    ++stats_.rejected;
+    Erase(key);
+    return;
+  }
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Overwrite in place, adjusting the byte charge. An overwrite is a use:
+    // refresh recency/frequency state like a hit would.
+    size_bytes_ -= it->second->bytes;
+    it->second->value = std::move(value);
+    it->second->bytes = bytes;
+    it->second->referenced = true;
+    it->second->freq += 1;
+    size_bytes_ += bytes;
+    if (policy_ == CachePolicy::kLru) {
+      entries_.splice(entries_.end(), entries_, it->second);
+    }
+  } else {
+    entries_.push_back(Entry{key, std::move(value), bytes});
+    map_[key] = std::prev(entries_.end());
+    size_bytes_ += bytes;
+    ++stats_.inserts;
+  }
+  while (size_bytes_ > capacity_bytes_) {
+    EvictOne();
+  }
+}
+
+template <typename V>
+void NodeCache<V>::EvictOne() {
+  GROUTING_CHECK(!entries_.empty());
+  typename EntryList::iterator victim;
+  switch (policy_) {
+    case CachePolicy::kLru:
+    case CachePolicy::kFifo:
+      victim = entries_.begin();
+      break;
+    case CachePolicy::kLfu: {
+      victim = entries_.begin();
+      for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->freq < victim->freq) {
+          victim = it;
+        }
+      }
+      break;
+    }
+    case CachePolicy::kClock: {
+      if (hand_ == entries_.end()) {
+        hand_ = entries_.begin();
+      }
+      // Sweep, clearing reference bits, until an unreferenced entry appears.
+      while (hand_->referenced) {
+        hand_->referenced = false;
+        ++hand_;
+        if (hand_ == entries_.end()) {
+          hand_ = entries_.begin();
+        }
+      }
+      victim = hand_;
+      ++hand_;
+      if (hand_ == entries_.end() && entries_.size() > 1) {
+        hand_ = entries_.begin();
+      }
+      break;
+    }
+  }
+  size_bytes_ -= victim->bytes;
+  stats_.bytes_evicted += victim->bytes;
+  ++stats_.evictions;
+  map_.erase(victim->key);
+  if (hand_ == victim) {
+    hand_ = entries_.end();
+  }
+  entries_.erase(victim);
+}
+
+template <typename V>
+void NodeCache<V>::Erase(NodeId key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    return;
+  }
+  if (hand_ == it->second) {
+    hand_ = entries_.end();
+  }
+  size_bytes_ -= it->second->bytes;
+  entries_.erase(it->second);
+  map_.erase(it);
+}
+
+template <typename V>
+void NodeCache<V>::Clear() {
+  entries_.clear();
+  map_.clear();
+  size_bytes_ = 0;
+  hand_ = entries_.end();
+}
+
+}  // namespace grouting
+
+#endif  // GROUTING_SRC_CACHE_CACHE_H_

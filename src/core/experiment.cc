@@ -1,0 +1,120 @@
+#include "src/core/experiment.h"
+
+namespace grouting {
+
+ExperimentEnv::ExperimentEnv(DatasetId dataset, double scale, uint64_t seed)
+    : spec_(GetDatasetSpec(dataset)), scale_(scale), seed_(seed) {}
+
+const Graph& ExperimentEnv::graph() {
+  if (!graph_.has_value()) {
+    graph_ = MakeDataset(spec_.id, scale_, seed_);
+  }
+  return *graph_;
+}
+
+const LandmarkSet& ExperimentEnv::landmarks(size_t count, int32_t separation) {
+  const auto key = std::make_tuple(count, separation);
+  auto it = landmark_sets_.find(key);
+  if (it == landmark_sets_.end()) {
+    LandmarkConfig config;
+    config.num_landmarks = count;
+    config.min_separation = separation;
+    config.seed = seed_ ^ 0x11;
+    auto set = std::make_unique<LandmarkSet>(LandmarkSet::Select(graph(), config));
+    it = landmark_sets_.emplace(key, std::move(set)).first;
+  }
+  return *it->second;
+}
+
+const LandmarkIndex& ExperimentEnv::landmark_index(uint32_t processors, size_t count,
+                                                   int32_t separation) {
+  const auto key = std::make_tuple(count, separation, processors);
+  auto it = indexes_.find(key);
+  if (it == indexes_.end()) {
+    // Build from a copy of the landmark set: the index owns its set so its
+    // incremental updates never mutate the shared one.
+    auto index = std::make_unique<LandmarkIndex>(
+        LandmarkIndex::Build(landmarks(count, separation), processors));
+    it = indexes_.emplace(key, std::move(index)).first;
+  }
+  return *it->second;
+}
+
+const GraphEmbedding& ExperimentEnv::embedding(size_t dims, size_t count,
+                                               int32_t separation) {
+  const auto key = std::make_tuple(dims, count, separation);
+  auto it = embeddings_.find(key);
+  if (it == embeddings_.end()) {
+    EmbedConfig config;
+    config.dimensions = dims;
+    config.seed = seed_ ^ 0x22;
+    auto emb = std::make_unique<GraphEmbedding>(
+        GraphEmbedding::Build(landmarks(count, separation), config));
+    it = embeddings_.emplace(key, std::move(emb)).first;
+  }
+  return *it->second;
+}
+
+std::vector<Query> ExperimentEnv::HotspotWorkload(int32_t r, int32_t h, size_t hotspots,
+                                                  size_t per_hotspot) {
+  WorkloadConfig config;
+  config.num_hotspots = hotspots;
+  config.queries_per_hotspot = per_hotspot;
+  config.hotspot_radius = r;
+  config.hops = h;
+  config.seed = seed_ ^ 0x33;
+  return GenerateHotspotWorkload(graph(), config);
+}
+
+uint64_t ExperimentEnv::AmpleCacheBytes() {
+  if (!ample_cache_.has_value()) {
+    ample_cache_ = graph().TotalAdjacencyBytes() + (16u << 20);
+  }
+  return *ample_cache_;
+}
+
+std::unique_ptr<RoutingStrategy> ExperimentEnv::MakeStrategy(const RunOptions& options) {
+  switch (options.scheme) {
+    case RoutingSchemeKind::kNextReady:
+    case RoutingSchemeKind::kNoCache:
+      return std::make_unique<NextReadyStrategy>();
+    case RoutingSchemeKind::kHash:
+      return std::make_unique<HashStrategy>();
+    case RoutingSchemeKind::kLandmark:
+      return std::make_unique<LandmarkStrategy>(
+          &landmark_index(options.processors, options.num_landmarks,
+                          options.min_separation),
+          options.load_factor);
+    case RoutingSchemeKind::kEmbed:
+      return std::make_unique<EmbedStrategy>(
+          &embedding(options.dimensions, options.num_landmarks, options.min_separation),
+          options.alpha, options.load_factor, options.processors, seed_ ^ 0x44);
+  }
+  GROUTING_CHECK_MSG(false, "unknown routing scheme");
+  return nullptr;
+}
+
+SimMetrics ExperimentEnv::RunDecoupled(const RunOptions& options,
+                                       std::span<const Query> queries) {
+  SimConfig sim;
+  sim.num_processors = options.processors;
+  sim.num_storage_servers = options.storage_servers;
+  sim.processor.cache_bytes =
+      options.cache_bytes == 0 ? AmpleCacheBytes() : options.cache_bytes;
+  sim.processor.cache_policy = options.cache_policy;
+  sim.processor.use_cache = options.scheme != RoutingSchemeKind::kNoCache;
+  sim.cost = options.cost;
+  sim.router.enable_stealing = options.stealing;
+
+  std::vector<Query> generated;
+  if (queries.empty()) {
+    generated = HotspotWorkload(options.hotspot_radius, options.hops,
+                                options.num_hotspots, options.queries_per_hotspot);
+    queries = generated;
+  }
+
+  DecoupledClusterSim cluster(graph(), sim, MakeStrategy(options));
+  return cluster.Run(queries);
+}
+
+}  // namespace grouting

@@ -1,0 +1,114 @@
+// ExperimentEnv: the shared harness behind every bench and example.
+//
+// It lazily builds and memoises the expensive per-dataset artefacts (graph,
+// landmark sets, landmark indexes, embeddings) so that a parameter sweep —
+// say response time across 7 processor counts x 5 routing schemes — pays
+// for preprocessing once, exactly like the paper's experimental setup.
+//
+// RunDecoupled() assembles a fresh simulated cluster (cold caches, as in
+// the paper) for the given options and runs the hotspot workload.
+
+#ifndef GROUTING_SRC_CORE_EXPERIMENT_H_
+#define GROUTING_SRC_CORE_EXPERIMENT_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "src/embed/embedding.h"
+#include "src/landmark/landmark_index.h"
+#include "src/routing/strategy.h"
+#include "src/sim/decoupled_sim.h"
+#include "src/workload/datasets.h"
+#include "src/workload/workload.h"
+
+namespace grouting {
+
+// The paper's Section 4.1 parameter settings.
+struct PaperDefaults {
+  static constexpr size_t kNumLandmarks = 96;
+  static constexpr int32_t kMinSeparation = 3;
+  static constexpr size_t kDimensions = 10;
+  static constexpr double kLoadFactor = 20.0;
+  static constexpr double kAlpha = 0.5;
+  static constexpr uint32_t kProcessors = 7;
+  static constexpr uint32_t kStorageServers = 4;
+  static constexpr size_t kHotspots = 100;
+  static constexpr size_t kQueriesPerHotspot = 10;
+};
+
+struct RunOptions {
+  RoutingSchemeKind scheme = RoutingSchemeKind::kEmbed;
+  uint32_t processors = PaperDefaults::kProcessors;
+  uint32_t storage_servers = PaperDefaults::kStorageServers;
+  // 0 = "ample" (everything fits; the paper's 4 GB setting never evicts).
+  uint64_t cache_bytes = 0;
+  CachePolicy cache_policy = CachePolicy::kLru;
+  bool stealing = true;
+  double load_factor = PaperDefaults::kLoadFactor;
+  double alpha = PaperDefaults::kAlpha;
+  size_t dimensions = PaperDefaults::kDimensions;
+  size_t num_landmarks = PaperDefaults::kNumLandmarks;
+  int32_t min_separation = PaperDefaults::kMinSeparation;
+  CostModel cost = CostModel::InfinibandDefaults();
+  // Workload shape (r-hop hotspots, h-hop traversals).
+  int32_t hotspot_radius = 2;
+  int32_t hops = 2;
+  size_t num_hotspots = PaperDefaults::kHotspots;
+  size_t queries_per_hotspot = PaperDefaults::kQueriesPerHotspot;
+};
+
+class ExperimentEnv {
+ public:
+  explicit ExperimentEnv(DatasetId dataset, double scale = 1.0, uint64_t seed = 4242);
+
+  const DatasetSpec& spec() const { return spec_; }
+  const Graph& graph();
+
+  // Memoised preprocessing artefacts.
+  const LandmarkSet& landmarks(size_t count = PaperDefaults::kNumLandmarks,
+                               int32_t separation = PaperDefaults::kMinSeparation);
+  const LandmarkIndex& landmark_index(uint32_t processors,
+                                      size_t count = PaperDefaults::kNumLandmarks,
+                                      int32_t separation = PaperDefaults::kMinSeparation);
+  const GraphEmbedding& embedding(size_t dims = PaperDefaults::kDimensions,
+                                  size_t count = PaperDefaults::kNumLandmarks,
+                                  int32_t separation = PaperDefaults::kMinSeparation);
+
+  // The paper's hotspot workload for this graph (deterministic in the env
+  // seed and the workload shape).
+  std::vector<Query> HotspotWorkload(int32_t r = 2, int32_t h = 2,
+                                     size_t hotspots = PaperDefaults::kHotspots,
+                                     size_t per_hotspot = PaperDefaults::kQueriesPerHotspot);
+
+  // Cache size at which nothing is ever evicted (the "4 GB" setting).
+  uint64_t AmpleCacheBytes();
+
+  // Builds the routing strategy an options struct asks for. The returned
+  // strategy references env-owned preprocessing (index/embedding), which
+  // stays valid for the env's lifetime.
+  std::unique_ptr<RoutingStrategy> MakeStrategy(const RunOptions& options);
+
+  // Assembles a cold decoupled cluster and runs the workload implied by
+  // `options` (or `queries` if provided).
+  SimMetrics RunDecoupled(const RunOptions& options,
+                          std::span<const Query> queries = {});
+
+  uint64_t seed() const { return seed_; }
+
+ private:
+  DatasetSpec spec_;
+  double scale_;
+  uint64_t seed_;
+  std::optional<Graph> graph_;
+  std::map<std::tuple<size_t, int32_t>, std::unique_ptr<LandmarkSet>> landmark_sets_;
+  std::map<std::tuple<size_t, int32_t, uint32_t>, std::unique_ptr<LandmarkIndex>> indexes_;
+  std::map<std::tuple<size_t, size_t, int32_t>, std::unique_ptr<GraphEmbedding>> embeddings_;
+  std::optional<uint64_t> ample_cache_;
+};
+
+}  // namespace grouting
+
+#endif  // GROUTING_SRC_CORE_EXPERIMENT_H_

@@ -1,0 +1,148 @@
+// Simplex Downhill (Nelder-Mead) derivative-free minimiser — the exact
+// algorithm the paper uses for graph embedding ("could be approximately
+// solved by many off-the-shelf techniques, e.g., the Simplex Downhill
+// algorithm that we apply in this work").
+//
+// Header-only template so the per-node objective (millions of calls during
+// embedding) inlines.
+
+#ifndef GROUTING_SRC_EMBED_NELDER_MEAD_H_
+#define GROUTING_SRC_EMBED_NELDER_MEAD_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace grouting {
+
+struct NelderMeadOptions {
+  int max_evals = 400;
+  // Converged when the simplex's best-worst objective spread drops below
+  // tol * (|f_best| + epsilon).
+  double tolerance = 1e-4;
+  // Initial simplex step per coordinate.
+  double initial_step = 0.5;
+  // Standard coefficients: reflection, expansion, contraction, shrink.
+  double alpha = 1.0;
+  double gamma = 2.0;
+  double rho = 0.5;
+  double sigma = 0.5;
+};
+
+// Minimises f over x (in place); returns the best objective value found.
+// F: double(std::span<const double>).
+template <typename F>
+double NelderMead(F&& f, std::span<double> x, const NelderMeadOptions& opts = {}) {
+  const size_t d = x.size();
+  GROUTING_CHECK(d > 0);
+
+  // Simplex of d+1 points.
+  std::vector<std::vector<double>> pts(d + 1, std::vector<double>(x.begin(), x.end()));
+  for (size_t i = 0; i < d; ++i) {
+    pts[i + 1][i] += opts.initial_step;
+  }
+  std::vector<double> fv(d + 1);
+  int evals = 0;
+  auto eval = [&](const std::vector<double>& p) {
+    ++evals;
+    return f(std::span<const double>(p));
+  };
+  for (size_t i = 0; i <= d; ++i) {
+    fv[i] = eval(pts[i]);
+  }
+
+  std::vector<size_t> order(d + 1);
+  std::vector<double> centroid(d);
+  std::vector<double> candidate(d);
+
+  while (evals < opts.max_evals) {
+    for (size_t i = 0; i <= d; ++i) {
+      order[i] = i;
+    }
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) { return fv[a] < fv[b]; });
+    const size_t best = order[0];
+    const size_t worst = order[d];
+    const size_t second_worst = order[d - 1];
+
+    if (fv[worst] - fv[best] <= opts.tolerance * (std::abs(fv[best]) + 1e-12)) {
+      break;
+    }
+
+    // Centroid of all points except the worst.
+    std::fill(centroid.begin(), centroid.end(), 0.0);
+    for (size_t i = 0; i <= d; ++i) {
+      if (i == worst) {
+        continue;
+      }
+      for (size_t k = 0; k < d; ++k) {
+        centroid[k] += pts[i][k];
+      }
+    }
+    for (size_t k = 0; k < d; ++k) {
+      centroid[k] /= static_cast<double>(d);
+    }
+
+    auto blend = [&](double coef) {
+      for (size_t k = 0; k < d; ++k) {
+        candidate[k] = centroid[k] + coef * (centroid[k] - pts[worst][k]);
+      }
+    };
+
+    blend(opts.alpha);  // reflection
+    const double f_reflect = eval(candidate);
+    if (f_reflect < fv[best]) {
+      blend(opts.alpha * opts.gamma);  // expansion
+      const double f_expand = eval(candidate);
+      if (f_expand < f_reflect) {
+        pts[worst] = candidate;
+        fv[worst] = f_expand;
+      } else {
+        blend(opts.alpha);
+        pts[worst] = candidate;
+        fv[worst] = f_reflect;
+      }
+    } else if (f_reflect < fv[second_worst]) {
+      pts[worst] = candidate;
+      fv[worst] = f_reflect;
+    } else {
+      // Contraction (outside if the reflection improved on the worst).
+      if (f_reflect < fv[worst]) {
+        blend(opts.alpha * opts.rho);
+      } else {
+        blend(-opts.rho);
+      }
+      const double f_contract = eval(candidate);
+      if (f_contract < std::min(f_reflect, fv[worst])) {
+        pts[worst] = candidate;
+        fv[worst] = f_contract;
+      } else {
+        // Shrink towards the best point.
+        for (size_t i = 0; i <= d; ++i) {
+          if (i == best) {
+            continue;
+          }
+          for (size_t k = 0; k < d; ++k) {
+            pts[i][k] = pts[best][k] + opts.sigma * (pts[i][k] - pts[best][k]);
+          }
+          fv[i] = eval(pts[i]);
+        }
+      }
+    }
+  }
+
+  size_t best = 0;
+  for (size_t i = 1; i <= d; ++i) {
+    if (fv[i] < fv[best]) {
+      best = i;
+    }
+  }
+  std::copy(pts[best].begin(), pts[best].end(), x.begin());
+  return fv[best];
+}
+
+}  // namespace grouting
+
+#endif  // GROUTING_SRC_EMBED_NELDER_MEAD_H_

@@ -1,0 +1,295 @@
+#include "src/graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace grouting {
+namespace {
+
+void AssignLabels(GraphBuilder& builder, const LabelConfig& cfg, Rng& rng, size_t n) {
+  if (cfg.num_node_labels == 0) {
+    return;
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    builder.SetNodeLabel(u, static_cast<Label>(1 + rng.NextBounded(cfg.num_node_labels)));
+  }
+}
+
+Label RandomEdgeLabel(const LabelConfig& cfg, Rng& rng) {
+  if (cfg.num_edge_labels == 0) {
+    return kNoLabel;
+  }
+  return static_cast<Label>(1 + rng.NextBounded(cfg.num_edge_labels));
+}
+
+}  // namespace
+
+Graph GenerateErdosRenyi(size_t num_nodes, size_t num_edges, uint64_t seed,
+                         LabelConfig labels) {
+  GROUTING_CHECK(num_nodes > 0);
+  Rng rng(seed);
+  GraphBuilder builder(num_nodes);
+  builder.AddNode(static_cast<NodeId>(num_nodes - 1));
+  for (size_t i = 0; i < num_edges; ++i) {
+    const auto u = static_cast<NodeId>(rng.NextBounded(num_nodes));
+    auto v = static_cast<NodeId>(rng.NextBounded(num_nodes));
+    if (u == v) {
+      v = static_cast<NodeId>((v + 1) % num_nodes);
+    }
+    builder.AddEdge(u, v, RandomEdgeLabel(labels, rng));
+  }
+  AssignLabels(builder, labels, rng, num_nodes);
+  return builder.Build();
+}
+
+Graph GenerateBarabasiAlbert(size_t num_nodes, size_t edges_per_node, uint64_t seed,
+                             LabelConfig labels) {
+  GROUTING_CHECK(num_nodes > 0);
+  GROUTING_CHECK(edges_per_node > 0);
+  Rng rng(seed);
+  GraphBuilder builder(num_nodes);
+  builder.AddNode(static_cast<NodeId>(num_nodes - 1));
+
+  // Endpoint multiset for preferential attachment: sampling a uniform element
+  // of `endpoints` is sampling proportional to degree.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2 * num_nodes * edges_per_node);
+
+  const size_t seed_nodes = std::min(num_nodes, edges_per_node + 1);
+  for (NodeId u = 1; u < seed_nodes; ++u) {
+    builder.AddEdge(u, u - 1, RandomEdgeLabel(labels, rng));
+    endpoints.push_back(u);
+    endpoints.push_back(u - 1);
+  }
+  for (NodeId u = static_cast<NodeId>(seed_nodes); u < num_nodes; ++u) {
+    for (size_t k = 0; k < edges_per_node; ++k) {
+      const NodeId target = endpoints[rng.NextBounded(endpoints.size())];
+      if (target == u) {
+        continue;
+      }
+      builder.AddEdge(u, target, RandomEdgeLabel(labels, rng));
+      endpoints.push_back(u);
+      endpoints.push_back(target);
+    }
+  }
+  AssignLabels(builder, labels, rng, num_nodes);
+  return builder.Build();
+}
+
+Graph GenerateRMat(size_t num_nodes, size_t num_edges, double a, double b, double c,
+                   uint64_t seed, LabelConfig labels) {
+  GROUTING_CHECK(num_nodes > 0);
+  GROUTING_CHECK(a > 0 && b >= 0 && c >= 0 && a + b + c < 1.0 + 1e-9);
+  Rng rng(seed);
+
+  int levels = 0;
+  size_t scale = 1;
+  while (scale < num_nodes) {
+    scale <<= 1;
+    ++levels;
+  }
+
+  GraphBuilder builder(num_nodes);
+  builder.AddNode(static_cast<NodeId>(num_nodes - 1));
+  // Mild per-level probability noise, as in the original R-MAT paper, to
+  // avoid artefactual grid patterns.
+  for (size_t i = 0; i < num_edges; ++i) {
+    size_t row = 0;
+    size_t col = 0;
+    for (int level = 0; level < levels; ++level) {
+      const double noise = 0.9 + 0.2 * rng.NextDouble();
+      const double aa = a * noise;
+      const double bb = b * noise;
+      const double cc = c * noise;
+      const double norm = aa + bb + cc + (1.0 - a - b - c) * noise;
+      const double r = rng.NextDouble() * norm;
+      const size_t half = scale >> (level + 1);
+      if (r < aa) {
+        // top-left quadrant
+      } else if (r < aa + bb) {
+        col += half;
+      } else if (r < aa + bb + cc) {
+        row += half;
+      } else {
+        row += half;
+        col += half;
+      }
+    }
+    const auto u = static_cast<NodeId>(row % num_nodes);
+    const auto v = static_cast<NodeId>(col % num_nodes);
+    if (u == v) {
+      continue;
+    }
+    builder.AddEdge(u, v, RandomEdgeLabel(labels, rng));
+  }
+  AssignLabels(builder, labels, rng, num_nodes);
+  return builder.Build();
+}
+
+Graph GenerateGrid(size_t rows, size_t cols, LabelConfig labels, uint64_t seed) {
+  GROUTING_CHECK(rows > 0 && cols > 0);
+  Rng rng(seed);
+  const size_t n = rows * cols;
+  GraphBuilder builder(n);
+  builder.AddNode(static_cast<NodeId>(n - 1));
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t col = 0; col < cols; ++col) {
+      const auto u = static_cast<NodeId>(r * cols + col);
+      if (col + 1 < cols) {
+        builder.AddEdge(u, u + 1, RandomEdgeLabel(labels, rng));
+      }
+      if (r + 1 < rows) {
+        builder.AddEdge(u, static_cast<NodeId>(u + cols), RandomEdgeLabel(labels, rng));
+      }
+    }
+  }
+  AssignLabels(builder, labels, rng, n);
+  return builder.Build();
+}
+
+Graph GenerateCommunityGraph(size_t num_communities, size_t community_size,
+                             size_t intra_degree, size_t inter_degree, uint64_t seed,
+                             LabelConfig labels) {
+  GROUTING_CHECK(num_communities > 0 && community_size > 1);
+  Rng rng(seed);
+  const size_t n = num_communities * community_size;
+  GraphBuilder builder(n);
+  builder.AddNode(static_cast<NodeId>(n - 1));
+  for (size_t comm = 0; comm < num_communities; ++comm) {
+    const size_t base = comm * community_size;
+    for (size_t i = 0; i < community_size; ++i) {
+      const auto u = static_cast<NodeId>(base + i);
+      for (size_t k = 0; k < intra_degree; ++k) {
+        auto v = static_cast<NodeId>(base + rng.NextBounded(community_size));
+        if (v == u) {
+          v = static_cast<NodeId>(base + (i + 1) % community_size);
+        }
+        builder.AddEdge(u, v, RandomEdgeLabel(labels, rng));
+      }
+      for (size_t k = 0; k < inter_degree; ++k) {
+        const auto v = static_cast<NodeId>(rng.NextBounded(n));
+        if (v != u) {
+          builder.AddEdge(u, v, RandomEdgeLabel(labels, rng));
+        }
+      }
+    }
+  }
+  AssignLabels(builder, labels, rng, n);
+  return builder.Build();
+}
+
+Graph GenerateLocalityWeb(const LocalityWebConfig& config, uint64_t seed) {
+  GROUTING_CHECK(config.grid_width > 0 && config.grid_height > 0);
+  GROUTING_CHECK(config.community_size > 1);
+  Rng rng(seed);
+  const size_t communities = config.grid_width * config.grid_height;
+  const size_t n = communities * config.community_size;
+  GraphBuilder builder(n);
+  builder.AddNode(static_cast<NodeId>(n - 1));
+
+  auto node_in = [&](size_t community) {
+    return static_cast<NodeId>(community * config.community_size +
+                               rng.NextBounded(config.community_size));
+  };
+  auto community_at = [&](size_t gx, size_t gy) { return gy * config.grid_width + gx; };
+
+  for (size_t gy = 0; gy < config.grid_height; ++gy) {
+    for (size_t gx = 0; gx < config.grid_width; ++gx) {
+      const size_t comm = community_at(gx, gy);
+      const size_t base = comm * config.community_size;
+      for (size_t i = 0; i < config.community_size; ++i) {
+        const auto u = static_cast<NodeId>(base + i);
+        for (size_t k = 0; k < config.intra_degree; ++k) {
+          auto v = node_in(comm);
+          if (v == u) {
+            v = static_cast<NodeId>(base + (i + 1) % config.community_size);
+          }
+          builder.AddEdge(u, v, RandomEdgeLabel(config.labels, rng));
+        }
+        for (size_t k = 0; k < config.inter_degree; ++k) {
+          // Uniform neighbour community (4-neighbourhood, clamped at edges).
+          size_t tx = gx;
+          size_t ty = gy;
+          switch (rng.NextBounded(4)) {
+            case 0:
+              tx = gx + 1 < config.grid_width ? gx + 1 : gx;
+              break;
+            case 1:
+              tx = gx > 0 ? gx - 1 : gx;
+              break;
+            case 2:
+              ty = gy + 1 < config.grid_height ? gy + 1 : gy;
+              break;
+            default:
+              ty = gy > 0 ? gy - 1 : gy;
+              break;
+          }
+          builder.AddEdge(u, node_in(community_at(tx, ty)),
+                          RandomEdgeLabel(config.labels, rng));
+        }
+      }
+    }
+  }
+
+  // Regional shared hubs: all nodes of a hub zone attach to the zone's
+  // designated hubs. This produces a heavy degree tail without collapsing
+  // the graph diameter, and — crucially — makes the hub-dominated part of
+  // nearby nodes' neighbourhoods IDENTICAL, reproducing the high h-hop
+  // overlap of real web graphs.
+  if (config.hub_zone > 0 && config.hubs_per_zone > 0 && config.hub_link_prob > 0.0) {
+    const size_t zones_x = (config.grid_width + config.hub_zone - 1) / config.hub_zone;
+    const size_t zones_y = (config.grid_height + config.hub_zone - 1) / config.hub_zone;
+    std::vector<std::vector<NodeId>> zone_hubs(zones_x * zones_y);
+    for (size_t zy = 0; zy < zones_y; ++zy) {
+      for (size_t zx = 0; zx < zones_x; ++zx) {
+        auto& hubs = zone_hubs[zy * zones_x + zx];
+        for (size_t h = 0; h < config.hubs_per_zone; ++h) {
+          // A hub is a random node of a random community inside the zone.
+          const size_t gx =
+              std::min(zx * config.hub_zone + rng.NextBounded(config.hub_zone),
+                       config.grid_width - 1);
+          const size_t gy =
+              std::min(zy * config.hub_zone + rng.NextBounded(config.hub_zone),
+                       config.grid_height - 1);
+          hubs.push_back(node_in(community_at(gx, gy)));
+        }
+      }
+    }
+    for (size_t gy = 0; gy < config.grid_height; ++gy) {
+      for (size_t gx = 0; gx < config.grid_width; ++gx) {
+        const auto& hubs =
+            zone_hubs[(gy / config.hub_zone) * zones_x + gx / config.hub_zone];
+        const size_t base = community_at(gx, gy) * config.community_size;
+        for (size_t i = 0; i < config.community_size; ++i) {
+          const auto u = static_cast<NodeId>(base + i);
+          for (NodeId hub : hubs) {
+            if (hub != u && rng.NextBool(config.hub_link_prob)) {
+              // Pages link portals; portals link back half the time.
+              builder.AddEdge(u, hub, RandomEdgeLabel(config.labels, rng));
+              if (rng.NextBool(0.5)) {
+                builder.AddEdge(hub, u, RandomEdgeLabel(config.labels, rng));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  AssignLabels(builder, config.labels, rng, n);
+  return builder.Build();
+}
+
+Graph GenerateStar(size_t num_spokes, LabelConfig labels) {
+  Rng rng(7);
+  GraphBuilder builder(num_spokes + 1);
+  builder.AddNode(static_cast<NodeId>(num_spokes));
+  for (NodeId s = 1; s <= num_spokes; ++s) {
+    builder.AddEdge(0, s, RandomEdgeLabel(labels, rng));
+  }
+  AssignLabels(builder, labels, rng, num_spokes + 1);
+  return builder.Build();
+}
+
+}  // namespace grouting

@@ -1,0 +1,88 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on four public graphs (WebGraph, Friendster,
+// Memetracker, Freebase) that are far too large for this environment; the
+// workload module (src/workload/datasets.h) composes the generators below
+// into scaled-down stand-ins with matching structural character (degree
+// skew, 2-hop neighbourhood size, hotspot overlap). Every generator is
+// deterministic in its seed.
+
+#ifndef GROUTING_SRC_GRAPH_GENERATORS_H_
+#define GROUTING_SRC_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "src/graph/graph.h"
+
+namespace grouting {
+
+// Shared knobs for label assignment. num_node_labels/num_edge_labels == 0
+// leaves everything unlabeled (kNoLabel).
+struct LabelConfig {
+  uint16_t num_node_labels = 0;
+  uint16_t num_edge_labels = 0;
+};
+
+// G(n, m) Erdos-Renyi: m directed edges drawn uniformly (no self loops).
+Graph GenerateErdosRenyi(size_t num_nodes, size_t num_edges, uint64_t seed,
+                         LabelConfig labels = {});
+
+// Barabasi-Albert preferential attachment: each new node attaches
+// `edges_per_node` out-edges to existing nodes chosen proportionally to
+// degree. Produces a heavy power-law tail (social-network-like).
+Graph GenerateBarabasiAlbert(size_t num_nodes, size_t edges_per_node, uint64_t seed,
+                             LabelConfig labels = {});
+
+// R-MAT (recursive matrix) generator, the standard model for web-scale
+// power-law graphs. num_nodes is rounded up to a power of two internally and
+// truncated back. Probabilities (a, b, c) with d = 1-a-b-c; a >> d produces
+// strong skew (web-graph-like).
+Graph GenerateRMat(size_t num_nodes, size_t num_edges, double a, double b, double c,
+                   uint64_t seed, LabelConfig labels = {});
+
+// 2D grid with edges to right/down neighbours; high locality, no skew.
+// Useful in tests as the polar opposite of a power-law graph.
+Graph GenerateGrid(size_t rows, size_t cols, LabelConfig labels = {}, uint64_t seed = 1);
+
+// Stochastic block model: `num_communities` blocks of `community_size` nodes;
+// each node gets `intra_degree` edges inside its block and `inter_degree`
+// edges to random other blocks. High intra-hotspot neighbourhood overlap —
+// this is what makes topology-aware routing shine.
+Graph GenerateCommunityGraph(size_t num_communities, size_t community_size,
+                             size_t intra_degree, size_t inter_degree, uint64_t seed,
+                             LabelConfig labels = {});
+
+// Star of `num_spokes` around node 0 (degenerate hub; adversarial tests).
+Graph GenerateStar(size_t num_spokes, LabelConfig labels = {});
+
+// Locality-preserving web-like graph: communities ("sites") arranged on a
+// grid_w x grid_h grid; nodes link mostly within their community, some to
+// adjacent communities, and a small fraction become REGIONAL hubs with many
+// edges into nearby communities. This yields the three properties the
+// paper's evaluation graphs combine and that smart routing exploits:
+//   * large effective diameter with regional structure (landmark distances
+//     and embeddings carry signal — unlike a globally-shortcut small world),
+//   * heavy degree skew (hub tail),
+//   * high h-hop neighbourhood overlap between nearby nodes.
+// Hubs are REGIONAL and SHARED: every `hub_zone x hub_zone` block of
+// communities designates `hubs_per_zone` hub nodes, and all nodes of the
+// block attach to those same hubs with probability `hub_link_prob` (like
+// pages of related sites linking the same portals). Shared hubs are what
+// give nearby nodes their dominant common neighbourhood mass.
+struct LocalityWebConfig {
+  size_t grid_width = 32;
+  size_t grid_height = 32;
+  size_t community_size = 150;
+  size_t intra_degree = 10;     // edges inside own community per node
+  size_t inter_degree = 1;      // edges to adjacent communities per node
+  size_t hub_zone = 3;          // zone side length, in communities
+  size_t hubs_per_zone = 2;     // shared hubs designated per zone
+  double hub_link_prob = 0.75;  // probability a node links each zone hub
+  LabelConfig labels;
+};
+
+Graph GenerateLocalityWeb(const LocalityWebConfig& config, uint64_t seed);
+
+}  // namespace grouting
+
+#endif  // GROUTING_SRC_GRAPH_GENERATORS_H_

@@ -1,0 +1,84 @@
+#include "src/graph/graph_stats.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/graph/traversal.h"
+
+namespace grouting {
+
+DegreeStats ComputeDegreeStats(const Graph& g) {
+  DegreeStats s;
+  s.num_nodes = g.num_nodes();
+  s.num_edges = g.num_edges();
+  if (g.num_nodes() == 0) {
+    return s;
+  }
+  std::vector<size_t> degrees(g.num_nodes());
+  uint64_t total_degree = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    s.max_out_degree = std::max(s.max_out_degree, g.OutDegree(u));
+    degrees[u] = g.Degree(u);
+    s.max_total_degree = std::max(s.max_total_degree, degrees[u]);
+    total_degree += degrees[u];
+  }
+  s.avg_out_degree = static_cast<double>(g.num_edges()) / static_cast<double>(g.num_nodes());
+  std::sort(degrees.begin(), degrees.end(), std::greater<>());
+  const size_t top = std::max<size_t>(1, g.num_nodes() / 100);
+  uint64_t top_degree = 0;
+  for (size_t i = 0; i < top; ++i) {
+    top_degree += degrees[i];
+  }
+  s.top1pct_degree_share =
+      total_degree == 0 ? 0.0
+                        : static_cast<double>(top_degree) / static_cast<double>(total_degree);
+  return s;
+}
+
+double AverageKHopNeighborhoodSize(const Graph& g, int32_t h, size_t samples, Rng& rng) {
+  if (g.num_nodes() == 0 || samples == 0) {
+    return 0.0;
+  }
+  uint64_t total = 0;
+  for (size_t i = 0; i < samples; ++i) {
+    const auto u = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    total += KHopNeighborhood(g, u, h).size();
+  }
+  return static_cast<double>(total) / static_cast<double>(samples);
+}
+
+double HotspotNeighborhoodOverlap(const Graph& g, int32_t h, int32_t r, size_t samples,
+                                  Rng& rng) {
+  if (g.num_nodes() == 0 || samples == 0) {
+    return 0.0;
+  }
+  double overlap_sum = 0.0;
+  size_t valid = 0;
+  for (size_t i = 0; i < samples; ++i) {
+    const auto u = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    // Pick a partner within r hops of u (if any).
+    auto near = KHopNeighborhood(g, u, r);
+    if (near.empty()) {
+      continue;
+    }
+    const NodeId v = near[rng.NextBounded(near.size())];
+    auto nu = KHopNeighborhood(g, u, h);
+    auto nv = KHopNeighborhood(g, v, h);
+    if (nu.empty() && nv.empty()) {
+      continue;
+    }
+    std::unordered_set<NodeId> su(nu.begin(), nu.end());
+    size_t inter = 0;
+    for (NodeId x : nv) {
+      inter += su.count(x);
+    }
+    const size_t uni = su.size() + nv.size() - inter;
+    if (uni > 0) {
+      overlap_sum += static_cast<double>(inter) / static_cast<double>(uni);
+      ++valid;
+    }
+  }
+  return valid == 0 ? 0.0 : overlap_sum / static_cast<double>(valid);
+}
+
+}  // namespace grouting

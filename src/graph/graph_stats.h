@@ -1,0 +1,42 @@
+// Structural statistics used to characterise datasets (paper Table 1 and the
+// per-dataset discussion of neighbourhood sizes in Sections 4.2 / 4.8).
+
+#ifndef GROUTING_SRC_GRAPH_GRAPH_STATS_H_
+#define GROUTING_SRC_GRAPH_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/util/rng.h"
+
+namespace grouting {
+
+struct DegreeStats {
+  size_t num_nodes = 0;
+  size_t num_edges = 0;
+  double avg_out_degree = 0.0;
+  size_t max_out_degree = 0;
+  size_t max_total_degree = 0;  // out + in
+  // Fraction of total degree owned by the top 1% highest-degree nodes; a
+  // cheap skew indicator (≈0.01 for uniform graphs, ≫0.1 for power laws).
+  double top1pct_degree_share = 0.0;
+};
+
+DegreeStats ComputeDegreeStats(const Graph& g);
+
+// Average |N_h(u)| over `samples` uniformly random source nodes. The paper
+// quotes this per dataset (e.g. "average 2-hop neighbourhood size 52K for
+// WebGraph, 0.3M for Friendster").
+double AverageKHopNeighborhoodSize(const Graph& g, int32_t h, size_t samples, Rng& rng);
+
+// Mean Jaccard overlap of h-hop neighbourhoods between random node pairs at
+// hop distance <= r (the paper's "overlap across 2-hop neighbourhoods for
+// queries from the same hotspot"). Returns 0 when no valid pair is found.
+double HotspotNeighborhoodOverlap(const Graph& g, int32_t h, int32_t r, size_t samples,
+                                  Rng& rng);
+
+}  // namespace grouting
+
+#endif  // GROUTING_SRC_GRAPH_GRAPH_STATS_H_

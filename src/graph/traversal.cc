@@ -1,0 +1,120 @@
+#include "src/graph/traversal.h"
+
+#include <deque>
+
+namespace grouting {
+namespace {
+
+// Visits the (possibly bi-directed, possibly filtered) neighbours of u.
+template <typename Fn>
+void ForEachNeighbor(const Graph& g, NodeId u, bool bidirected,
+                     const std::vector<uint8_t>* allowed, Fn&& fn) {
+  for (const Edge& e : g.OutNeighbors(u)) {
+    if (allowed == nullptr || (*allowed)[e.dst]) {
+      fn(e.dst);
+    }
+  }
+  if (bidirected) {
+    for (const Edge& e : g.InNeighbors(u)) {
+      if (allowed == nullptr || (*allowed)[e.dst]) {
+        fn(e.dst);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<int32_t> BfsDistances(const Graph& g, NodeId source, const BfsOptions& opts) {
+  GROUTING_CHECK(source < g.num_nodes());
+  if (opts.allowed != nullptr) {
+    GROUTING_CHECK(opts.allowed->size() == g.num_nodes());
+    GROUTING_CHECK((*opts.allowed)[source]);
+  }
+  std::vector<int32_t> dist(g.num_nodes(), kUnreachable);
+  dist[source] = 0;
+  std::deque<NodeId> frontier{source};
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    const int32_t du = dist[u];
+    if (opts.max_depth >= 0 && du >= opts.max_depth) {
+      continue;
+    }
+    ForEachNeighbor(g, u, opts.bidirected, opts.allowed, [&](NodeId v) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = du + 1;
+        frontier.push_back(v);
+      }
+    });
+  }
+  return dist;
+}
+
+std::vector<NodeId> KHopNeighborhood(const Graph& g, NodeId source, int32_t h,
+                                     bool bidirected) {
+  GROUTING_CHECK(source < g.num_nodes());
+  std::vector<NodeId> result;
+  if (h <= 0) {
+    return result;
+  }
+  // Visited bitmap sized lazily via hash set would be slower; the graphs here
+  // are small enough that a byte map is the right trade.
+  std::vector<uint8_t> visited(g.num_nodes(), 0);
+  visited[source] = 1;
+  std::vector<NodeId> frontier{source};
+  std::vector<NodeId> next;
+  for (int32_t depth = 0; depth < h && !frontier.empty(); ++depth) {
+    next.clear();
+    for (NodeId u : frontier) {
+      ForEachNeighbor(g, u, bidirected, nullptr, [&](NodeId v) {
+        if (!visited[v]) {
+          visited[v] = 1;
+          next.push_back(v);
+          result.push_back(v);
+        }
+      });
+    }
+    frontier.swap(next);
+  }
+  return result;
+}
+
+int32_t HopDistance(const Graph& g, NodeId from, NodeId to, int32_t max_depth,
+                    bool bidirected) {
+  GROUTING_CHECK(from < g.num_nodes() && to < g.num_nodes());
+  if (from == to) {
+    return 0;
+  }
+  BfsOptions opts;
+  opts.bidirected = bidirected;
+  opts.max_depth = max_depth;
+  // Plain BFS with early exit on target discovery.
+  std::vector<int32_t> dist(g.num_nodes(), kUnreachable);
+  dist[from] = 0;
+  std::deque<NodeId> frontier{from};
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    const int32_t du = dist[u];
+    if (max_depth >= 0 && du >= max_depth) {
+      continue;
+    }
+    int32_t found = kUnreachable;
+    ForEachNeighbor(g, u, bidirected, nullptr, [&](NodeId v) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = du + 1;
+        if (v == to) {
+          found = du + 1;
+        }
+        frontier.push_back(v);
+      }
+    });
+    if (found != kUnreachable) {
+      return found;
+    }
+  }
+  return kUnreachable;
+}
+
+}  // namespace grouting

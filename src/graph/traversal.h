@@ -1,0 +1,47 @@
+// Breadth-first traversal utilities shared by landmark preprocessing,
+// embedding preprocessing, query executors, and tests.
+//
+// Smart routing treats the graph as bi-directed ("we assume a bi-directed
+// edge corresponding to every directed edge"), so BFS defaults to following
+// both out- and in-edges; query semantics that need directed traversal set
+// bidirected = false.
+
+#ifndef GROUTING_SRC_GRAPH_TRAVERSAL_H_
+#define GROUTING_SRC_GRAPH_TRAVERSAL_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace grouting {
+
+inline constexpr int32_t kUnreachable = -1;
+
+struct BfsOptions {
+  bool bidirected = true;
+  // Stop expanding beyond this depth (inclusive). Negative = unlimited.
+  int32_t max_depth = -1;
+  // If non-null, traversal is restricted to nodes u with (*allowed)[u] != 0.
+  // The source must be allowed. Used for induced-subgraph preprocessing.
+  const std::vector<uint8_t>* allowed = nullptr;
+};
+
+// Hop distances from `source` to every node; kUnreachable where unreached.
+std::vector<int32_t> BfsDistances(const Graph& g, NodeId source, const BfsOptions& opts = {});
+
+// All nodes within h hops of `source` (excluding the source itself),
+// deduplicated, in BFS order. This is N_h(q) from the paper's cache-hit
+// metric.
+std::vector<NodeId> KHopNeighborhood(const Graph& g, NodeId source, int32_t h,
+                                     bool bidirected = true);
+
+// Exact hop distance between two nodes with early termination once the
+// frontier exceeds max_depth; kUnreachable if farther / disconnected.
+int32_t HopDistance(const Graph& g, NodeId from, NodeId to, int32_t max_depth,
+                    bool bidirected = true);
+
+}  // namespace grouting
+
+#endif  // GROUTING_SRC_GRAPH_TRAVERSAL_H_

@@ -1,0 +1,196 @@
+#include "src/landmark/landmark_index.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+
+namespace grouting {
+namespace {
+
+// Farthest-point pivot selection over the landmark-to-landmark distance
+// matrix: first two pivots are the farthest pair; each next pivot maximises
+// its minimum distance to the chosen pivots.
+std::vector<size_t> SelectPivots(const LandmarkSet& lms, uint32_t num_pivots) {
+  const size_t L = lms.count();
+  std::vector<size_t> pivots;
+  if (L == 0 || num_pivots == 0) {
+    return pivots;
+  }
+  if (num_pivots >= L) {
+    pivots.resize(L);
+    for (size_t i = 0; i < L; ++i) {
+      pivots[i] = i;
+    }
+    return pivots;
+  }
+
+  auto dist = [&](size_t a, size_t b) -> uint32_t {
+    const uint16_t d = lms.LandmarkDistance(a, b);
+    return d == kUnreachableU16 ? 1u << 20 : d;  // disconnected = very far
+  };
+
+  size_t best_a = 0;
+  size_t best_b = L > 1 ? 1 : 0;
+  uint32_t best_d = 0;
+  for (size_t a = 0; a < L; ++a) {
+    for (size_t b = a + 1; b < L; ++b) {
+      const uint32_t d = dist(a, b);
+      if (d > best_d) {
+        best_d = d;
+        best_a = a;
+        best_b = b;
+      }
+    }
+  }
+  pivots.push_back(best_a);
+  if (num_pivots > 1 && L > 1) {
+    pivots.push_back(best_b);
+  }
+  while (pivots.size() < num_pivots) {
+    size_t best = SIZE_MAX;
+    uint32_t best_min = 0;
+    for (size_t cand = 0; cand < L; ++cand) {
+      if (std::find(pivots.begin(), pivots.end(), cand) != pivots.end()) {
+        continue;
+      }
+      uint32_t min_d = UINT32_MAX;
+      for (size_t p : pivots) {
+        min_d = std::min(min_d, dist(cand, p));
+      }
+      if (best == SIZE_MAX || min_d > best_min) {
+        best_min = min_d;
+        best = cand;
+      }
+    }
+    if (best == SIZE_MAX) {
+      break;
+    }
+    pivots.push_back(best);
+  }
+  return pivots;
+}
+
+}  // namespace
+
+LandmarkIndex LandmarkIndex::Build(LandmarkSet landmarks, uint32_t num_processors) {
+  GROUTING_CHECK(num_processors > 0);
+  const auto start = std::chrono::steady_clock::now();
+
+  LandmarkIndex index;
+  index.landmarks_ = std::move(landmarks);
+  index.num_processors_ = num_processors;
+  const LandmarkSet& lms = index.landmarks_;
+  const size_t L = lms.count();
+  index.node_count_ = L > 0 ? lms.DistanceVector(0).size() : 0;
+
+  // Pivots and landmark -> processor assignment.
+  index.pivots_ = SelectPivots(lms, num_processors);
+  index.landmark_processor_.assign(L, 0);
+  for (size_t l = 0; l < L; ++l) {
+    uint32_t best_p = 0;
+    uint32_t best_d = UINT32_MAX;
+    for (size_t pi = 0; pi < index.pivots_.size(); ++pi) {
+      const uint16_t d16 = lms.LandmarkDistance(l, index.pivots_[pi]);
+      const uint32_t d = d16 == kUnreachableU16 ? 1u << 20 : d16;
+      if (d < best_d) {
+        best_d = d;
+        best_p = static_cast<uint32_t>(pi % num_processors);
+      }
+    }
+    index.landmark_processor_[l] = best_p;
+  }
+
+  // d(u,p) table.
+  index.dist_.assign(index.node_count_ * num_processors, kUnreachableU16);
+  for (NodeId u = 0; u < index.node_count_; ++u) {
+    index.FillRow(u);
+  }
+
+  index.build_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return index;
+}
+
+void LandmarkIndex::FillRow(NodeId u) {
+  uint16_t* row = dist_.data() + static_cast<size_t>(u) * num_processors_;
+  std::fill(row, row + num_processors_, kUnreachableU16);
+  for (size_t l = 0; l < landmarks_.count(); ++l) {
+    const uint16_t d = landmarks_.Distance(l, u);
+    const uint32_t p = landmark_processor_[l];
+    if (d < row[p]) {
+      row[p] = d;
+    }
+  }
+}
+
+uint32_t LandmarkIndex::NearestProcessor(NodeId u) const {
+  uint32_t best = 0;
+  uint16_t best_d = kUnreachableU16;
+  for (uint32_t p = 0; p < num_processors_; ++p) {
+    const uint16_t d = Distance(u, p);
+    if (d < best_d) {
+      best_d = d;
+      best = p;
+    }
+  }
+  return best;
+}
+
+bool LandmarkIndex::AddNodeIncremental(const Graph& g, NodeId u) {
+  GROUTING_CHECK(u < node_count_);
+  const auto est = landmarks_.EstimateDistances(g, u);
+  const bool any_known =
+      std::any_of(est.begin(), est.end(), [](uint16_t d) { return d != kUnreachableU16; });
+  landmarks_.Assimilate(u, est);
+  FillRow(u);
+  return any_known;
+}
+
+void LandmarkIndex::RefreshAroundEdge(const Graph& g, NodeId u, NodeId v, int32_t hops) {
+  // Collect the <= hops neighbourhood of both endpoints (bi-directed) and
+  // re-estimate each affected node from its current neighbours.
+  std::vector<NodeId> affected;
+  std::vector<uint8_t> seen(g.num_nodes(), 0);
+  std::deque<std::pair<NodeId, int32_t>> frontier;
+  for (NodeId s : {u, v}) {
+    if (s < g.num_nodes() && !seen[s]) {
+      seen[s] = 1;
+      frontier.emplace_back(s, 0);
+      affected.push_back(s);
+    }
+  }
+  while (!frontier.empty()) {
+    const auto [x, d] = frontier.front();
+    frontier.pop_front();
+    if (d >= hops) {
+      continue;
+    }
+    auto visit = [&](NodeId y) {
+      if (!seen[y]) {
+        seen[y] = 1;
+        affected.push_back(y);
+        frontier.emplace_back(y, d + 1);
+      }
+    };
+    for (const Edge& e : g.OutNeighbors(x)) {
+      visit(e.dst);
+    }
+    for (const Edge& e : g.InNeighbors(x)) {
+      visit(e.dst);
+    }
+  }
+  for (NodeId x : affected) {
+    const auto est = landmarks_.EstimateDistances(g, x);
+    // Keep the better of old and estimated distance per landmark: an edge
+    // insertion can only shorten paths; deletions are handled by periodic
+    // offline recompute (as in the paper).
+    std::vector<uint16_t> merged(est.size());
+    for (size_t l = 0; l < est.size(); ++l) {
+      merged[l] = std::min(est[l], landmarks_.Distance(l, x));
+    }
+    landmarks_.Assimilate(x, merged);
+    FillRow(x);
+  }
+}
+
+}  // namespace grouting

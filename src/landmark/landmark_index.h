@@ -1,0 +1,81 @@
+// Landmark routing's router-side index (paper Section 3.4.1):
+//
+//   1. pick P pivot landmarks by farthest-point traversal,
+//   2. assign every other landmark to its nearest pivot (= processor),
+//   3. store d(u,p) = min over landmarks of processor p of dist(u, landmark)
+//      for every node u — O(n*P) router storage, O(P) routing decisions.
+//
+// The index also supports the incremental node-insertion path used by the
+// graph-update experiments.
+
+#ifndef GROUTING_SRC_LANDMARK_LANDMARK_INDEX_H_
+#define GROUTING_SRC_LANDMARK_LANDMARK_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/landmark/landmark.h"
+
+namespace grouting {
+
+class LandmarkIndex {
+ public:
+  // Builds the full index. `landmarks` must outlive the index only during
+  // this call (distances are copied into the d(u,p) table); the set is moved
+  // in so incremental updates can reuse it.
+  static LandmarkIndex Build(LandmarkSet landmarks, uint32_t num_processors);
+
+  uint32_t num_processors() const { return num_processors_; }
+  size_t num_nodes() const { return node_count_; }
+
+  // d(u,p): distance from node u to processor p (kUnreachableU16 if unknown).
+  uint16_t Distance(NodeId u, uint32_t p) const {
+    GROUTING_DCHECK(u < node_count_ && p < num_processors_);
+    return dist_[static_cast<size_t>(u) * num_processors_ + p];
+  }
+
+  // argmin_p d(u,p), ties to the lower processor id.
+  uint32_t NearestProcessor(NodeId u) const;
+
+  // Processor that each landmark was assigned to, and the pivot landmarks
+  // (indices into the landmark set) — exposed for tests and diagnostics.
+  const std::vector<uint32_t>& landmark_processor() const { return landmark_processor_; }
+  const std::vector<size_t>& pivots() const { return pivots_; }
+  const LandmarkSet& landmarks() const { return landmarks_; }
+
+  // Incremental node insertion: estimates the new node's landmark distances
+  // from already-known neighbours, persists them, and fills its d(u,p) row.
+  // Returns false if no neighbour was known (row stays unreachable).
+  bool AddNodeIncremental(const Graph& g, NodeId u);
+
+  // Incremental edge insertion/deletion support: re-estimates distances for
+  // the endpoint nodes and their neighbours up to `hops` away (paper: "their
+  // neighbors up to a certain number of hops, e.g. 2-hops").
+  void RefreshAroundEdge(const Graph& g, NodeId u, NodeId v, int32_t hops = 2);
+
+  // Router-resident storage (Table 3): the n x P distance table.
+  uint64_t RouterStorageBytes() const {
+    return static_cast<uint64_t>(node_count_) * num_processors_ * sizeof(uint16_t);
+  }
+  // Preprocessing-side storage (landmark distance vectors).
+  uint64_t PreprocessStorageBytes() const { return landmarks_.MemoryBytes(); }
+
+  double build_seconds() const { return build_seconds_; }
+
+ private:
+  void FillRow(NodeId u);
+
+  LandmarkSet landmarks_;
+  uint32_t num_processors_ = 0;
+  size_t node_count_ = 0;
+  std::vector<uint16_t> dist_;  // n x P row-major
+  std::vector<uint32_t> landmark_processor_;
+  std::vector<size_t> pivots_;
+  double build_seconds_ = 0.0;
+};
+
+}  // namespace grouting
+
+#endif  // GROUTING_SRC_LANDMARK_LANDMARK_INDEX_H_

@@ -1,0 +1,33 @@
+#include "src/net/cost_model.h"
+
+namespace grouting {
+
+NetworkProfile NetworkProfile::Infiniband() {
+  NetworkProfile p;
+  p.name = "infiniband";
+  p.one_way_us = 3.0;    // RDMA read ~6 µs round trip
+  p.per_kb_us = 0.25;    // ~40 Gbps effective
+  return p;
+}
+
+NetworkProfile NetworkProfile::Ethernet() {
+  NetworkProfile p;
+  p.name = "ethernet";
+  p.one_way_us = 30.0;   // kernel TCP stack ~60 µs round trip
+  p.per_kb_us = 0.85;    // ~10 Gbps effective
+  return p;
+}
+
+CostModel CostModel::InfinibandDefaults() {
+  CostModel m;
+  m.net = NetworkProfile::Infiniband();
+  return m;
+}
+
+CostModel CostModel::EthernetDefaults() {
+  CostModel m;
+  m.net = NetworkProfile::Ethernet();
+  return m;
+}
+
+}  // namespace grouting

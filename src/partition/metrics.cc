@@ -1,0 +1,39 @@
+#include "src/partition/metrics.h"
+
+#include <algorithm>
+
+namespace grouting {
+
+std::vector<size_t> PartitionSizes(const PartitionAssignment& assignment, uint32_t k) {
+  std::vector<size_t> sizes(k, 0);
+  for (PartitionId p : assignment) {
+    GROUTING_CHECK(p < k);
+    sizes[p] += 1;
+  }
+  return sizes;
+}
+
+PartitionMetrics EvaluatePartition(const Graph& g, const PartitionAssignment& assignment,
+                                   uint32_t k) {
+  GROUTING_CHECK(assignment.size() == g.num_nodes());
+  PartitionMetrics m;
+  m.num_partitions = k;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const Edge& e : g.OutNeighbors(u)) {
+      if (assignment[u] != assignment[e.dst]) {
+        ++m.cut_edges;
+      }
+    }
+  }
+  m.cut_fraction = g.num_edges() == 0
+                       ? 0.0
+                       : static_cast<double>(m.cut_edges) / static_cast<double>(g.num_edges());
+  const auto sizes = PartitionSizes(assignment, k);
+  m.max_partition_size = *std::max_element(sizes.begin(), sizes.end());
+  m.min_partition_size = *std::min_element(sizes.begin(), sizes.end());
+  const double ideal = static_cast<double>(g.num_nodes()) / static_cast<double>(k);
+  m.balance = ideal == 0.0 ? 1.0 : static_cast<double>(m.max_partition_size) / ideal;
+  return m;
+}
+
+}  // namespace grouting

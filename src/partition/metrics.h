@@ -1,0 +1,32 @@
+// Partition quality metrics: edge cut (what SEDGE-style coupled systems pay
+// as network messages) and balance (what limits their parallelism).
+
+#ifndef GROUTING_SRC_PARTITION_METRICS_H_
+#define GROUTING_SRC_PARTITION_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/partition/partitioner.h"
+
+namespace grouting {
+
+struct PartitionMetrics {
+  uint32_t num_partitions = 0;
+  uint64_t cut_edges = 0;
+  double cut_fraction = 0.0;  // cut_edges / num_edges
+  size_t max_partition_size = 0;
+  size_t min_partition_size = 0;
+  double balance = 0.0;  // max size / (n / k); 1.0 is perfect
+};
+
+PartitionMetrics EvaluatePartition(const Graph& g, const PartitionAssignment& assignment,
+                                   uint32_t k);
+
+// Per-partition node counts.
+std::vector<size_t> PartitionSizes(const PartitionAssignment& assignment, uint32_t k);
+
+}  // namespace grouting
+
+#endif  // GROUTING_SRC_PARTITION_METRICS_H_

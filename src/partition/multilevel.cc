@@ -1,0 +1,277 @@
+#include "src/partition/multilevel.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "src/util/rng.h"
+
+namespace grouting {
+namespace {
+
+// Undirected weighted graph used across coarsening levels.
+struct WeightedGraph {
+  std::vector<int64_t> node_weight;
+  // adjacency: (neighbor, edge weight); no self loops; symmetric.
+  std::vector<std::vector<std::pair<uint32_t, int64_t>>> adj;
+
+  size_t size() const { return node_weight.size(); }
+};
+
+// Collapses the directed input into an undirected weighted graph, merging
+// duplicate/bidirectional edges into weights.
+WeightedGraph FromGraph(const Graph& g) {
+  WeightedGraph wg;
+  const size_t n = g.num_nodes();
+  wg.node_weight.assign(n, 1);
+  wg.adj.resize(n);
+  std::unordered_map<uint32_t, int64_t> row;
+  for (NodeId u = 0; u < n; ++u) {
+    row.clear();
+    for (const Edge& e : g.OutNeighbors(u)) {
+      if (e.dst != u) {
+        row[e.dst] += 1;
+      }
+    }
+    for (const Edge& e : g.InNeighbors(u)) {
+      if (e.dst != u) {
+        row[e.dst] += 1;
+      }
+    }
+    auto& out = wg.adj[u];
+    out.reserve(row.size());
+    for (const auto& [v, w] : row) {
+      out.emplace_back(v, w);
+    }
+    std::sort(out.begin(), out.end());
+  }
+  return wg;
+}
+
+// One round of heavy-edge matching. Returns the coarse graph and fills
+// fine_to_coarse. Unmatched nodes map to singleton coarse nodes.
+WeightedGraph CoarsenOnce(const WeightedGraph& g, Rng& rng,
+                          std::vector<uint32_t>* fine_to_coarse) {
+  const size_t n = g.size();
+  std::vector<uint32_t> match(n, static_cast<uint32_t>(n));  // n = unmatched
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Shuffle(order, rng);
+
+  for (uint32_t u : order) {
+    if (match[u] != n) {
+      continue;
+    }
+    int64_t best_w = -1;
+    uint32_t best_v = n;
+    for (const auto& [v, w] : g.adj[u]) {
+      if (match[v] == n && w > best_w) {
+        best_w = w;
+        best_v = v;
+      }
+    }
+    if (best_v != n) {
+      match[u] = best_v;
+      match[best_v] = u;
+    } else {
+      match[u] = u;  // singleton
+    }
+  }
+
+  fine_to_coarse->assign(n, 0);
+  uint32_t next_coarse = 0;
+  for (uint32_t u = 0; u < n; ++u) {
+    if (match[u] >= u || match[u] == u) {
+      // u is the representative of its pair (or singleton).
+      if (match[u] == u || match[u] > u) {
+        (*fine_to_coarse)[u] = next_coarse;
+        if (match[u] != u && match[u] > u) {
+          (*fine_to_coarse)[match[u]] = next_coarse;
+        }
+        ++next_coarse;
+      }
+    }
+  }
+  // Second pass for pairs where the partner had the smaller id.
+  for (uint32_t u = 0; u < n; ++u) {
+    if (match[u] < u && match[u] != u) {
+      (*fine_to_coarse)[u] = (*fine_to_coarse)[match[u]];
+    }
+  }
+
+  WeightedGraph coarse;
+  coarse.node_weight.assign(next_coarse, 0);
+  coarse.adj.resize(next_coarse);
+  for (uint32_t u = 0; u < n; ++u) {
+    coarse.node_weight[(*fine_to_coarse)[u]] += g.node_weight[u];
+  }
+  std::unordered_map<uint32_t, int64_t> row;
+  // Aggregate edges per coarse node. We iterate fine nodes grouped by their
+  // coarse id via a bucket pass to keep this O(m).
+  std::vector<std::vector<uint32_t>> members(next_coarse);
+  for (uint32_t u = 0; u < n; ++u) {
+    members[(*fine_to_coarse)[u]].push_back(u);
+  }
+  for (uint32_t cu = 0; cu < next_coarse; ++cu) {
+    row.clear();
+    for (uint32_t u : members[cu]) {
+      for (const auto& [v, w] : g.adj[u]) {
+        const uint32_t cv = (*fine_to_coarse)[v];
+        if (cv != cu) {
+          row[cv] += w;
+        }
+      }
+    }
+    auto& out = coarse.adj[cu];
+    out.reserve(row.size());
+    for (const auto& [v, w] : row) {
+      out.emplace_back(v, w);
+    }
+    std::sort(out.begin(), out.end());
+  }
+  return coarse;
+}
+
+// Greedy gain-aware initial partition of the coarsest graph: place nodes in
+// decreasing weight order onto the partition with the highest connectivity
+// gain among those under the balance cap.
+PartitionAssignment InitialPartition(const WeightedGraph& g, uint32_t k, int64_t cap,
+                                     Rng& rng) {
+  const size_t n = g.size();
+  PartitionAssignment part(n, k);
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return g.node_weight[a] > g.node_weight[b];
+  });
+
+  std::vector<int64_t> load(k, 0);
+  std::vector<int64_t> gain(k, 0);
+  for (uint32_t u : order) {
+    std::fill(gain.begin(), gain.end(), 0);
+    for (const auto& [v, w] : g.adj[u]) {
+      if (part[v] < k) {
+        gain[part[v]] += w;
+      }
+    }
+    int64_t best_gain = -1;
+    uint32_t best = rng.NextBounded(k);
+    int64_t best_load = load[best];
+    for (uint32_t p = 0; p < k; ++p) {
+      if (load[p] + g.node_weight[u] > cap) {
+        continue;
+      }
+      if (gain[p] > best_gain || (gain[p] == best_gain && load[p] < best_load)) {
+        best_gain = gain[p];
+        best = p;
+        best_load = load[p];
+      }
+    }
+    part[u] = best;
+    load[best] += g.node_weight[u];
+  }
+  return part;
+}
+
+// Boundary FM-style refinement: repeated passes of positive-gain single-node
+// moves subject to the balance cap.
+void Refine(const WeightedGraph& g, uint32_t k, int64_t cap, int passes,
+            PartitionAssignment* part) {
+  const size_t n = g.size();
+  std::vector<int64_t> load(k, 0);
+  for (uint32_t u = 0; u < n; ++u) {
+    load[(*part)[u]] += g.node_weight[u];
+  }
+  std::vector<int64_t> conn(k, 0);
+  for (int pass = 0; pass < passes; ++pass) {
+    size_t moves = 0;
+    for (uint32_t u = 0; u < n; ++u) {
+      const uint32_t from = (*part)[u];
+      std::fill(conn.begin(), conn.end(), 0);
+      bool boundary = false;
+      for (const auto& [v, w] : g.adj[u]) {
+        conn[(*part)[v]] += w;
+        if ((*part)[v] != from) {
+          boundary = true;
+        }
+      }
+      if (!boundary) {
+        continue;
+      }
+      int64_t best_gain = 0;
+      uint32_t best = from;
+      for (uint32_t p = 0; p < k; ++p) {
+        if (p == from || load[p] + g.node_weight[u] > cap) {
+          continue;
+        }
+        const int64_t g_move = conn[p] - conn[from];
+        if (g_move > best_gain ||
+            (g_move == best_gain && g_move > 0 && load[p] < load[best])) {
+          best_gain = g_move;
+          best = p;
+        }
+      }
+      if (best != from && best_gain > 0) {
+        load[from] -= g.node_weight[u];
+        load[best] += g.node_weight[u];
+        (*part)[u] = best;
+        ++moves;
+      }
+    }
+    if (moves == 0) {
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+PartitionAssignment MultilevelPartitioner::Partition(const Graph& g, uint32_t k) {
+  GROUTING_CHECK(k > 0);
+  const size_t n = g.num_nodes();
+  if (n == 0) {
+    return {};
+  }
+  if (k == 1) {
+    return PartitionAssignment(n, 0);
+  }
+
+  Rng rng(config_.seed);
+
+  // Phase 1: coarsen.
+  std::vector<WeightedGraph> levels;
+  std::vector<std::vector<uint32_t>> mappings;  // fine -> coarse per level
+  levels.push_back(FromGraph(g));
+  const size_t target = std::max<size_t>(config_.coarsest_nodes_per_part * k, 2 * k);
+  while (levels.back().size() > target) {
+    std::vector<uint32_t> mapping;
+    WeightedGraph coarse = CoarsenOnce(levels.back(), rng, &mapping);
+    if (coarse.size() > levels.back().size() * 9 / 10) {
+      break;  // matching stalled (e.g. star graphs)
+    }
+    mappings.push_back(std::move(mapping));
+    levels.push_back(std::move(coarse));
+  }
+
+  const int64_t total_weight = static_cast<int64_t>(n);
+  const auto cap = static_cast<int64_t>(
+      static_cast<double>(total_weight) / k * (1.0 + config_.imbalance) + 1.0);
+
+  // Phase 2: initial partition on the coarsest level.
+  PartitionAssignment part = InitialPartition(levels.back(), k, cap, rng);
+  Refine(levels.back(), k, cap, config_.refine_passes, &part);
+
+  // Phase 3: uncoarsen with refinement.
+  for (size_t level = mappings.size(); level-- > 0;) {
+    const auto& mapping = mappings[level];
+    PartitionAssignment finer(mapping.size());
+    for (size_t u = 0; u < mapping.size(); ++u) {
+      finer[u] = part[mapping[u]];
+    }
+    part = std::move(finer);
+    Refine(levels[level], k, cap, config_.refine_passes, &part);
+  }
+  return part;
+}
+
+}  // namespace grouting

@@ -1,0 +1,89 @@
+#include "src/partition/partitioner.h"
+
+#include <algorithm>
+
+#include "src/util/murmur3.h"
+#include "src/util/rng.h"
+
+namespace grouting {
+
+PartitionAssignment HashPartitioner::Partition(const Graph& g, uint32_t k) {
+  GROUTING_CHECK(k > 0);
+  PartitionAssignment assignment(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    assignment[u] = Place(u, k);
+  }
+  return assignment;
+}
+
+PartitionId HashPartitioner::Place(NodeId u, uint32_t k) const {
+  GROUTING_DCHECK(k > 0);
+  return Murmur3Hash64(u, hash_seed_) % k;
+}
+
+PartitionAssignment RangePartitioner::Partition(const Graph& g, uint32_t k) {
+  GROUTING_CHECK(k > 0);
+  const size_t n = g.num_nodes();
+  PartitionAssignment assignment(n);
+  // ceil-sized leading ranges so every partition is within one node of even.
+  const size_t base = n / k;
+  const size_t extra = n % k;
+  size_t next = 0;
+  for (uint32_t p = 0; p < k; ++p) {
+    const size_t size = base + (p < extra ? 1 : 0);
+    for (size_t i = 0; i < size; ++i) {
+      assignment[next++] = p;
+    }
+  }
+  return assignment;
+}
+
+PartitionAssignment LdgPartitioner::Partition(const Graph& g, uint32_t k) {
+  GROUTING_CHECK(k > 0);
+  const size_t n = g.num_nodes();
+  PartitionAssignment assignment(n, k);  // k = unassigned sentinel
+  if (n == 0) {
+    return assignment;
+  }
+  const double capacity =
+      capacity_slack_ * static_cast<double>(n) / static_cast<double>(k) + 1.0;
+
+  std::vector<NodeId> order(n);
+  for (NodeId u = 0; u < n; ++u) {
+    order[u] = u;
+  }
+  Rng rng(seed_);
+  Shuffle(order, rng);
+
+  std::vector<size_t> load(k, 0);
+  std::vector<size_t> neighbor_count(k, 0);
+  for (NodeId u : order) {
+    std::fill(neighbor_count.begin(), neighbor_count.end(), 0);
+    for (const Edge& e : g.OutNeighbors(u)) {
+      if (assignment[e.dst] < k) {
+        neighbor_count[assignment[e.dst]] += 1;
+      }
+    }
+    for (const Edge& e : g.InNeighbors(u)) {
+      if (assignment[e.dst] < k) {
+        neighbor_count[assignment[e.dst]] += 1;
+      }
+    }
+    double best_score = -1.0;
+    PartitionId best = 0;
+    for (uint32_t p = 0; p < k; ++p) {
+      const double penalty = 1.0 - static_cast<double>(load[p]) / capacity;
+      // +1 so empty-neighbour nodes still spread by capacity penalty.
+      const double score = (static_cast<double>(neighbor_count[p]) + 1.0) * penalty;
+      if (score > best_score) {
+        best_score = score;
+        best = p;
+      }
+    }
+    assignment[u] = best;
+    load[best] += 1;
+  }
+  return assignment;
+}
+
+}  // namespace grouting

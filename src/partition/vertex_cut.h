@@ -1,0 +1,43 @@
+// Greedy vertex-cut edge partitioner, as used by PowerGraph (Gonzalez et
+// al., OSDI'12). Edges — not nodes — are assigned to partitions; a node is
+// replicated ("mirrored") on every partition that owns one of its edges.
+// Power-law hubs get split across machines, which is what lets PowerGraph
+// balance natural graphs.
+
+#ifndef GROUTING_SRC_PARTITION_VERTEX_CUT_H_
+#define GROUTING_SRC_PARTITION_VERTEX_CUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace grouting {
+
+struct VertexCutResult {
+  // Partition of each out-edge, indexed in CSR order (same order as
+  // iterating u ascending, then Graph::OutNeighbors(u)).
+  std::vector<uint32_t> edge_partition;
+  // For each node, the sorted set of partitions holding at least one of its
+  // edges (its replicas). Nodes with no edges get their hash partition.
+  std::vector<std::vector<uint32_t>> node_replicas;
+  // Master partition per node (first replica).
+  std::vector<uint32_t> master;
+  // Edge count per partition.
+  std::vector<uint64_t> edges_per_partition;
+
+  // Average number of replicas per node — PowerGraph's headline metric.
+  double ReplicationFactor() const;
+};
+
+// The PowerGraph greedy heuristic:
+//   both endpoints share a partition      -> least-loaded shared partition
+//   endpoints placed on disjoint sets     -> least-loaded partition of the
+//                                            higher-(remaining-)degree node
+//   one endpoint placed                   -> one of its partitions
+//   neither placed                        -> globally least-loaded partition
+VertexCutResult GreedyVertexCut(const Graph& g, uint32_t k, uint64_t seed);
+
+}  // namespace grouting
+
+#endif  // GROUTING_SRC_PARTITION_VERTEX_CUT_H_

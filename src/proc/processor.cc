@@ -1,0 +1,102 @@
+#include "src/proc/processor.h"
+
+#include <algorithm>
+
+namespace grouting {
+
+std::vector<AdjacencyPtr> CachedStorageSource::FetchBatch(std::span<const NodeId> nodes) {
+  std::vector<AdjacencyPtr> result(nodes.size());
+  trace_.level_stats.emplace_back();
+  FetchTrace::Level& level = trace_.level_stats.back();
+
+  // Pass 1: serve from cache.
+  std::vector<size_t> miss_positions;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (cache_ != nullptr) {
+      ++trace_.cache_lookups;
+      ++level.lookups;
+      if (auto hit = cache_->Get(nodes[i]); hit.has_value()) {
+        ++trace_.cache_hits;
+        ++level.hits;
+        ++trace_.visited;
+        result[i] = *hit;
+        continue;
+      }
+      ++trace_.cache_misses;
+      ++level.misses;
+    } else {
+      ++trace_.cache_misses;  // every access is a storage fetch
+      ++level.misses;
+    }
+    miss_positions.push_back(i);
+  }
+
+  // Pass 2: group misses by owning storage server into multiget batches.
+  if (!miss_positions.empty()) {
+    std::sort(miss_positions.begin(), miss_positions.end(), [&](size_t a, size_t b) {
+      const uint32_t sa = storage_->ServerOf(nodes[a]);
+      const uint32_t sb = storage_->ServerOf(nodes[b]);
+      return sa != sb ? sa < sb : a < b;
+    });
+    size_t i = 0;
+    while (i < miss_positions.size()) {
+      const uint32_t server = storage_->ServerOf(nodes[miss_positions[i]]);
+      FetchTrace::Batch batch;
+      batch.server = server;
+      batch.level = trace_.levels;
+      storage_->server(server).NoteBatch();
+      while (i < miss_positions.size() &&
+             storage_->ServerOf(nodes[miss_positions[i]]) == server) {
+        const size_t pos = miss_positions[i];
+        AdjacencyPtr entry = storage_->server(server).Get(nodes[pos]);
+        if (entry != nullptr) {
+          batch.values += 1;
+          batch.bytes += entry->SerializedBytes();
+          trace_.bytes_fetched += entry->SerializedBytes();
+          ++trace_.visited;
+          ++level.fetched;
+          if (cache_ != nullptr) {
+            cache_->Put(nodes[pos], entry, entry->SerializedBytes());
+          }
+          result[pos] = std::move(entry);
+        }
+        ++i;
+      }
+      trace_.batches.push_back(batch);
+    }
+  }
+  ++trace_.levels;
+  return result;
+}
+
+QueryProcessor::QueryProcessor(uint32_t id, StorageTier* storage,
+                               const ProcessorConfig& config)
+    : id_(id) {
+  if (config.use_cache) {
+    cache_ = std::make_unique<NodeCache<AdjacencyPtr>>(config.cache_bytes,
+                                                       config.cache_policy);
+  }
+  source_ = std::make_unique<CachedStorageSource>(storage, cache_.get());
+}
+
+QueryResult QueryProcessor::Execute(const Query& q) {
+  source_->ResetTrace();
+  QueryResult result = ExecuteQuery(q, *source_);
+  const FetchTrace& trace = source_->trace();
+  ++stats_.queries_executed;
+  stats_.cache_hits += trace.cache_hits;
+  stats_.cache_misses += trace.cache_misses;
+  stats_.nodes_visited += trace.visited;
+  stats_.bytes_fetched += trace.bytes_fetched;
+  stats_.storage_batches += trace.batches.size();
+  return result;
+}
+
+void QueryProcessor::ResetStats() {
+  stats_ = ProcessorStats{};
+  if (cache_ != nullptr) {
+    cache_->ResetStats();
+  }
+}
+
+}  // namespace grouting

@@ -1,0 +1,82 @@
+// Query processor: the processing-tier worker. Owns an LRU (by default)
+// cache of adjacency entries and a connection to the storage tier. Executes
+// h-hop queries through a CachedStorageSource that (a) serves hits from the
+// cache and (b) groups misses into per-storage-server multiget batches —
+// the unit the cost model charges network and service time for.
+//
+// Processors never talk to each other (paper Section 2.3); they only receive
+// queries and fetch from storage.
+
+#ifndef GROUTING_SRC_PROC_PROCESSOR_H_
+#define GROUTING_SRC_PROC_PROCESSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "src/cache/cache.h"
+#include "src/query/query.h"
+#include "src/storage/storage_tier.h"
+
+namespace grouting {
+
+struct ProcessorConfig {
+  uint64_t cache_bytes = 4ULL << 30;  // paper default: 4 GB per processor
+  CachePolicy cache_policy = CachePolicy::kLru;
+  bool use_cache = true;  // false = the paper's "no-cache" comparison scheme
+};
+
+// NodeDataSource that fronts the storage tier with a processor-local cache.
+class CachedStorageSource : public NodeDataSource {
+ public:
+  CachedStorageSource(StorageTier* storage, NodeCache<AdjacencyPtr>* cache)
+      : storage_(storage), cache_(cache) {
+    GROUTING_CHECK(storage_ != nullptr);
+  }
+
+  std::vector<AdjacencyPtr> FetchBatch(std::span<const NodeId> nodes) override;
+  const FetchTrace& trace() const override { return trace_; }
+  void ResetTrace() override { trace_.Clear(); }
+
+ private:
+  StorageTier* storage_;
+  NodeCache<AdjacencyPtr>* cache_;  // nullptr = no-cache mode
+  FetchTrace trace_;
+};
+
+struct ProcessorStats {
+  uint64_t queries_executed = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t nodes_visited = 0;
+  uint64_t bytes_fetched = 0;
+  uint64_t storage_batches = 0;
+};
+
+class QueryProcessor {
+ public:
+  QueryProcessor(uint32_t id, StorageTier* storage, const ProcessorConfig& config);
+
+  uint32_t id() const { return id_; }
+
+  // Executes the query; the per-query FetchTrace is available via
+  // last_trace() until the next call.
+  QueryResult Execute(const Query& q);
+
+  const FetchTrace& last_trace() const { return source_->trace(); }
+  const ProcessorStats& stats() const { return stats_; }
+  bool cache_enabled() const { return cache_ != nullptr; }
+  NodeCache<AdjacencyPtr>* cache() { return cache_.get(); }
+  const NodeCache<AdjacencyPtr>* cache() const { return cache_.get(); }
+  void ResetStats();
+
+ private:
+  uint32_t id_;
+  std::unique_ptr<NodeCache<AdjacencyPtr>> cache_;  // null in no-cache mode
+  std::unique_ptr<CachedStorageSource> source_;
+  ProcessorStats stats_;
+};
+
+}  // namespace grouting
+
+#endif  // GROUTING_SRC_PROC_PROCESSOR_H_

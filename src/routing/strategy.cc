@@ -1,0 +1,150 @@
+#include "src/routing/strategy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace grouting {
+
+std::string RoutingSchemeKindName(RoutingSchemeKind kind) {
+  switch (kind) {
+    case RoutingSchemeKind::kNextReady:
+      return "next_ready";
+    case RoutingSchemeKind::kHash:
+      return "hash";
+    case RoutingSchemeKind::kLandmark:
+      return "landmark";
+    case RoutingSchemeKind::kEmbed:
+      return "embed";
+    case RoutingSchemeKind::kNoCache:
+      return "no_cache";
+  }
+  return "unknown";
+}
+
+uint32_t NextReadyStrategy::Route(NodeId query_node, const RouterContext& ctx) {
+  (void)query_node;
+  GROUTING_CHECK(ctx.num_processors > 0);
+  uint32_t best = rotor_ % ctx.num_processors;
+  for (uint32_t i = 0; i < ctx.num_processors; ++i) {
+    const uint32_t p = (rotor_ + i) % ctx.num_processors;
+    if (ctx.queue_lengths[p] < ctx.queue_lengths[best]) {
+      best = p;
+    }
+  }
+  ++rotor_;
+  return best;
+}
+
+uint32_t HashStrategy::Route(NodeId query_node, const RouterContext& ctx) {
+  GROUTING_CHECK(ctx.num_processors > 0);
+  return Murmur3Hash64(query_node, hash_seed_) % ctx.num_processors;
+}
+
+uint32_t LandmarkStrategy::Route(NodeId query_node, const RouterContext& ctx) {
+  GROUTING_CHECK(ctx.num_processors > 0);
+  uint32_t best = 0;
+  double best_score = 0.0;
+  for (uint32_t p = 0; p < ctx.num_processors; ++p) {
+    const uint16_t d16 =
+        query_node < index_->num_nodes() ? index_->Distance(query_node, p) : kUnreachableU16;
+    // Unknown distance = "very far" but finite, so the load term still
+    // discriminates between overloaded processors.
+    const double d = d16 == kUnreachableU16 ? 1e5 : static_cast<double>(d16);
+    const double score = d + static_cast<double>(ctx.queue_lengths[p]) / load_factor_;
+    if (p == 0 || score < best_score) {
+      best_score = score;
+      best = p;
+    }
+  }
+  return best;
+}
+
+EmbedStrategy::EmbedStrategy(const GraphEmbedding* embedding, double alpha,
+                             double load_factor, uint32_t num_processors, uint64_t seed)
+    : embedding_(embedding),
+      alpha_(alpha),
+      load_factor_(load_factor),
+      dims_(embedding->dimensions()) {
+  GROUTING_CHECK(embedding_ != nullptr);
+  GROUTING_CHECK(alpha_ >= 0.0 && alpha_ <= 1.0);
+  GROUTING_CHECK(load_factor_ > 0.0);
+  GROUTING_CHECK(num_processors > 0);
+  // Paper: "Initially, the mean co-ordinates for each processor are assigned
+  // uniformly at random" — seed each EMA with the coordinates of a random
+  // embedded node so the initial means live in the coordinate space.
+  ema_.assign(static_cast<size_t>(num_processors) * dims_, 0.0);
+  Rng rng(seed);
+  const size_t n = embedding_->num_nodes();
+  for (uint32_t p = 0; p < num_processors; ++p) {
+    for (size_t attempt = 0; attempt < 64 && n > 0; ++attempt) {
+      const auto u = static_cast<NodeId>(rng.NextBounded(n));
+      if (embedding_->IsEmbedded(u)) {
+        const auto coords = embedding_->Coords(u);
+        for (size_t k = 0; k < dims_; ++k) {
+          ema_[static_cast<size_t>(p) * dims_ + k] = coords[k];
+        }
+        break;
+      }
+    }
+  }
+}
+
+uint32_t EmbedStrategy::Route(NodeId query_node, const RouterContext& ctx) {
+  GROUTING_CHECK(ctx.num_processors > 0);
+  if (query_node >= embedding_->num_nodes() || !embedding_->IsEmbedded(query_node)) {
+    return fallback_.Route(query_node, ctx);
+  }
+  const auto coords = embedding_->Coords(query_node);
+  uint32_t best = 0;
+  double best_score = 0.0;
+  for (uint32_t p = 0; p < ctx.num_processors; ++p) {
+    const double* mean = ema_.data() + static_cast<size_t>(p) * dims_;
+    double sq = 0.0;
+    for (size_t k = 0; k < dims_; ++k) {
+      const double diff = mean[k] - static_cast<double>(coords[k]);
+      sq += diff * diff;
+    }
+    const double score =
+        std::sqrt(sq) + static_cast<double>(ctx.queue_lengths[p]) / load_factor_;
+    if (p == 0 || score < best_score) {
+      best_score = score;
+      best = p;
+    }
+  }
+  // Paper: "keeping an average of the query nodes' co-ordinates that it SENT
+  // to each processor" — the mean updates when the router routes the query,
+  // so it always reflects the full routing history even while earlier
+  // queries are still queued.
+  UpdateMean(query_node, best);
+  return best;
+}
+
+void EmbedStrategy::OnDispatch(NodeId query_node, uint32_t processor) {
+  // EMA updates happen at routing time (see Route); stolen queries are a
+  // deliberate, small distortion the paper accepts for load balancing.
+  (void)query_node;
+  (void)processor;
+}
+
+void EmbedStrategy::UpdateMean(NodeId query_node, uint32_t processor) {
+  if (query_node >= embedding_->num_nodes() || !embedding_->IsEmbedded(query_node)) {
+    return;
+  }
+  // Paper Eq. 5: Mean(p) = alpha * Mean(p) + (1 - alpha) * Coords(v).
+  const auto coords = embedding_->Coords(query_node);
+  double* mean = ema_.data() + static_cast<size_t>(processor) * dims_;
+  for (size_t k = 0; k < dims_; ++k) {
+    mean[k] = alpha_ * mean[k] + (1.0 - alpha_) * static_cast<double>(coords[k]);
+  }
+}
+
+SimTimeUs EmbedStrategy::DecisionCostUs(const CostModel& cm,
+                                        uint32_t num_processors) const {
+  // O(P * D) distance arithmetic: charge the per-processor scan cost per
+  // 4-dimension block (SIMD-ish), so high dimensionality shows up in the
+  // router's decision latency (paper Fig. 12b).
+  const double dim_blocks = std::max(1.0, static_cast<double>(dims_) / 4.0);
+  return cm.route_base_us + cm.route_per_proc_us * num_processors * dim_blocks;
+}
+
+}  // namespace grouting

@@ -1,0 +1,138 @@
+// Routing strategies (paper Section 3): given a query node and the current
+// router-visible load (per-processor queue lengths), pick a processor.
+//
+// Baselines:  NextReady (least-loaded), Hash (modulo MurmurHash3).
+// Smart:      Landmark  (argmin d(u,p) + load/load_factor),
+//             Embed     (argmin ||EMA_p - coord(u)|| + load/load_factor).
+//
+// Strategies are engine-agnostic: the discrete-event simulator and the real
+// threaded runtime both drive the same objects.
+
+#ifndef GROUTING_SRC_ROUTING_STRATEGY_H_
+#define GROUTING_SRC_ROUTING_STRATEGY_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/embed/embedding.h"
+#include "src/graph/graph.h"
+#include "src/landmark/landmark_index.h"
+#include "src/net/cost_model.h"
+#include "src/util/murmur3.h"
+#include "src/util/rng.h"
+
+namespace grouting {
+
+struct RouterContext {
+  uint32_t num_processors = 0;
+  // Pending queries per processor (the paper's router-side load measure).
+  std::span<const uint32_t> queue_lengths;
+};
+
+class RoutingStrategy {
+ public:
+  virtual ~RoutingStrategy() = default;
+
+  virtual std::string name() const = 0;
+
+  // Chooses a processor in [0, ctx.num_processors).
+  virtual uint32_t Route(NodeId query_node, const RouterContext& ctx) = 0;
+
+  // Observes the final dispatch decision (post query stealing), letting
+  // stateful strategies (Embed's EMA) track actual cache contents.
+  virtual void OnDispatch(NodeId query_node, uint32_t processor) {
+    (void)query_node;
+    (void)processor;
+  }
+
+  // Virtual-time cost of one routing decision under the cost model.
+  virtual SimTimeUs DecisionCostUs(const CostModel& cm, uint32_t num_processors) const {
+    return cm.route_base_us + cm.route_per_proc_us * num_processors;
+  }
+};
+
+// Least-loaded processor; ties broken round-robin. Constant-time, no state,
+// perfectly balanced — and cache-oblivious.
+class NextReadyStrategy : public RoutingStrategy {
+ public:
+  std::string name() const override { return "next_ready"; }
+  uint32_t Route(NodeId query_node, const RouterContext& ctx) override;
+
+ private:
+  uint32_t rotor_ = 0;
+};
+
+// Target = MurmurHash3(node) mod P (paper Eq. 1 with a better hash than
+// plain modulo). Repeats of the same query node hit the same processor, but
+// neighbouring nodes scatter.
+class HashStrategy : public RoutingStrategy {
+ public:
+  explicit HashStrategy(uint32_t hash_seed = 0x9747b28cu) : hash_seed_(hash_seed) {}
+  std::string name() const override { return "hash"; }
+  uint32_t Route(NodeId query_node, const RouterContext& ctx) override;
+
+ private:
+  uint32_t hash_seed_;
+};
+
+// Landmark routing (paper Eq. 3): d_LB(u,p) = d(u,p) + load(p)/load_factor.
+class LandmarkStrategy : public RoutingStrategy {
+ public:
+  LandmarkStrategy(const LandmarkIndex* index, double load_factor)
+      : index_(index), load_factor_(load_factor) {
+    GROUTING_CHECK(index_ != nullptr);
+    GROUTING_CHECK(load_factor_ > 0.0);
+  }
+  std::string name() const override { return "landmark"; }
+  uint32_t Route(NodeId query_node, const RouterContext& ctx) override;
+
+ private:
+  const LandmarkIndex* index_;
+  double load_factor_;
+};
+
+// Embed routing (paper Eqs. 5-7): router keeps an exponential moving average
+// of the coordinates dispatched to each processor as a proxy for its cache
+// contents; d1_LB(u,p) = ||EMA_p - coord(u)|| + load(p)/load_factor.
+class EmbedStrategy : public RoutingStrategy {
+ public:
+  EmbedStrategy(const GraphEmbedding* embedding, double alpha, double load_factor,
+                uint32_t num_processors, uint64_t seed = 99);
+
+  std::string name() const override { return "embed"; }
+  uint32_t Route(NodeId query_node, const RouterContext& ctx) override;
+  void OnDispatch(NodeId query_node, uint32_t processor) override;
+  SimTimeUs DecisionCostUs(const CostModel& cm, uint32_t num_processors) const override;
+
+  std::span<const double> MeanCoordinates(uint32_t processor) const {
+    return {ema_.data() + static_cast<size_t>(processor) * dims_, dims_};
+  }
+
+ private:
+  void UpdateMean(NodeId query_node, uint32_t processor);
+
+  const GraphEmbedding* embedding_;
+  double alpha_;
+  double load_factor_;
+  size_t dims_;
+  std::vector<double> ema_;  // P x D
+  NextReadyStrategy fallback_;  // for unembedded query nodes
+};
+
+// Factory helper used by configs/benches.
+enum class RoutingSchemeKind {
+  kNextReady,
+  kHash,
+  kLandmark,
+  kEmbed,
+  kNoCache,  // next-ready routing + processors run without cache
+};
+
+std::string RoutingSchemeKindName(RoutingSchemeKind kind);
+
+}  // namespace grouting
+
+#endif  // GROUTING_SRC_ROUTING_STRATEGY_H_

@@ -1,0 +1,159 @@
+#include "src/runtime/threaded_cluster.h"
+
+#include <chrono>
+
+namespace grouting {
+namespace {
+
+void BusyWaitUs(double us) {
+  if (us <= 0.0) {
+    return;
+  }
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::nanoseconds(static_cast<int64_t>(us * 1000.0));
+  while (std::chrono::steady_clock::now() < until) {
+    // spin: injected delays are microseconds; sleeping would oversleep 100x
+  }
+}
+
+}  // namespace
+
+ThreadedCluster::ThreadedCluster(const Graph& graph, ThreadedConfig config,
+                                 std::unique_ptr<RoutingStrategy> strategy)
+    : config_(config), strategy_(std::move(strategy)) {
+  GROUTING_CHECK(config_.num_processors > 0);
+  GROUTING_CHECK(config_.num_storage_servers > 0);
+  GROUTING_CHECK(strategy_ != nullptr);
+  storage_ = std::make_unique<StorageTier>(config_.num_storage_servers);
+  storage_->LoadGraph(graph);
+  for (uint32_t p = 0; p < config_.num_processors; ++p) {
+    processors_.push_back(
+        std::make_unique<QueryProcessor>(p, storage_.get(), config_.processor));
+    channels_.push_back(std::make_unique<MpmcQueue<Query>>());
+  }
+}
+
+ThreadedCluster::~ThreadedCluster() {
+  shutdown_.store(true, std::memory_order_release);
+  for (auto& ch : channels_) {
+    ch->Close();
+  }
+  for (auto& t : threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+}
+
+bool ThreadedCluster::StealInto(uint32_t thief, Query* out) {
+  // Scan for the longest sibling channel; take its oldest pending query.
+  // (The DES router steals the newest; with MPMC channels the oldest is the
+  // lock-free-friendly end. The balance property is identical.)
+  uint32_t victim = thief;
+  size_t longest = 0;
+  for (uint32_t p = 0; p < config_.num_processors; ++p) {
+    if (p == thief) {
+      continue;
+    }
+    const size_t len = channels_[p]->Size();
+    if (len > longest) {
+      longest = len;
+      victim = p;
+    }
+  }
+  if (victim == thief) {
+    return false;
+  }
+  auto stolen = channels_[victim]->TryPop();
+  if (!stolen.has_value()) {
+    return false;
+  }
+  *out = *stolen;
+  steals_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ThreadedCluster::ProcessorLoop(uint32_t p) {
+  while (!shutdown_.load(std::memory_order_acquire) &&
+         remaining_.load(std::memory_order_acquire) > 0) {
+    Query q;
+    auto own = channels_[p]->TryPop();
+    if (own.has_value()) {
+      q = *own;
+    } else if (!config_.enable_stealing || !StealInto(p, &q)) {
+      std::this_thread::yield();
+      continue;
+    }
+    QueryResult result = processors_[p]->Execute(q);
+    if (config_.injected_network_us > 0.0) {
+      // Two one-way hops per storage batch of the query just executed.
+      const auto batches = processors_[p]->last_trace().batches.size();
+      BusyWaitUs(2.0 * config_.injected_network_us * static_cast<double>(batches));
+    }
+    answers_.Push(AnsweredQuery{q.id, p, result});
+    remaining_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+ThreadedMetrics ThreadedCluster::Run(std::span<const Query> queries,
+                                     std::vector<AnsweredQuery>* answers) {
+  GROUTING_CHECK_MSG(threads_.empty(), "Run may only be called once");
+  remaining_.store(queries.size(), std::memory_order_release);
+
+  const auto start = std::chrono::steady_clock::now();
+  threads_.reserve(config_.num_processors);
+  for (uint32_t p = 0; p < config_.num_processors; ++p) {
+    threads_.emplace_back([this, p] { ProcessorLoop(p); });
+  }
+
+  // This thread is the router: route every arrival using live channel
+  // lengths as the load signal.
+  std::vector<uint32_t> lengths(config_.num_processors, 0);
+  RouterContext ctx;
+  ctx.num_processors = config_.num_processors;
+  for (const Query& q : queries) {
+    for (uint32_t p = 0; p < config_.num_processors; ++p) {
+      lengths[p] = static_cast<uint32_t>(channels_[p]->Size());
+    }
+    ctx.queue_lengths = lengths;
+    const uint32_t target = strategy_->Route(q.node, ctx);
+    GROUTING_CHECK(target < config_.num_processors);
+    channels_[target]->Push(q);
+  }
+
+  // Wait for completion, collecting answers as they arrive.
+  uint64_t collected = 0;
+  while (collected < queries.size()) {
+    auto a = answers_.Pop();
+    if (!a.has_value()) {
+      break;
+    }
+    if (answers != nullptr) {
+      answers->push_back(*a);
+    }
+    ++collected;
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  shutdown_.store(true, std::memory_order_release);
+  for (auto& t : threads_) {
+    t.join();
+  }
+  threads_.clear();
+
+  ThreadedMetrics m;
+  m.queries = collected;
+  m.wall_seconds = wall;
+  m.throughput_qps = wall > 0.0 ? static_cast<double>(collected) / wall : 0.0;
+  m.queries_per_processor.assign(config_.num_processors, 0);
+  for (uint32_t p = 0; p < config_.num_processors; ++p) {
+    m.cache_hits += processors_[p]->stats().cache_hits;
+    m.cache_misses += processors_[p]->stats().cache_misses;
+    m.queries_per_processor[p] = processors_[p]->stats().queries_executed;
+  }
+  m.steals = steals_.load(std::memory_order_relaxed);
+  return m;
+}
+
+}  // namespace grouting

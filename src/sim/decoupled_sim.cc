@@ -1,0 +1,216 @@
+#include "src/sim/decoupled_sim.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace grouting {
+
+DecoupledClusterSim::DecoupledClusterSim(const Graph& graph, SimConfig config,
+                                         std::unique_ptr<RoutingStrategy> strategy)
+    : config_(config) {
+  Init(graph, std::move(strategy), nullptr);
+}
+
+DecoupledClusterSim::DecoupledClusterSim(const Graph& graph, SimConfig config,
+                                         std::unique_ptr<RoutingStrategy> strategy,
+                                         const PartitionAssignment& storage_placement)
+    : config_(config) {
+  Init(graph, std::move(strategy), &storage_placement);
+}
+
+void DecoupledClusterSim::Init(const Graph& graph,
+                               std::unique_ptr<RoutingStrategy> strategy,
+                               const PartitionAssignment* placement) {
+  GROUTING_CHECK(config_.num_processors > 0);
+  GROUTING_CHECK(config_.num_storage_servers > 0);
+  storage_ = std::make_unique<StorageTier>(config_.num_storage_servers);
+  if (placement != nullptr) {
+    storage_->LoadGraph(graph, *placement);
+  } else {
+    storage_->LoadGraph(graph);
+  }
+  router_ = std::make_unique<Router>(std::move(strategy), config_.num_processors,
+                                     config_.router);
+  processors_.reserve(config_.num_processors);
+  for (uint32_t p = 0; p < config_.num_processors; ++p) {
+    processors_.push_back(
+        std::make_unique<QueryProcessor>(p, storage_.get(), config_.processor));
+  }
+  in_flight_.resize(config_.num_processors);
+  processor_idle_.assign(config_.num_processors, 1);
+  server_busy_until_.assign(config_.num_storage_servers, 0.0);
+}
+
+SimMetrics DecoupledClusterSim::Run(std::span<const Query> queries) {
+  GROUTING_CHECK_MSG(!ran_, "DecoupledClusterSim::Run may only be called once");
+  ran_ = true;
+  results_.reserve(queries.size());
+
+  std::unordered_map<uint64_t, SimTimeUs> arrival_time;
+  arrival_time.reserve(queries.size());
+
+  // Arrivals: the paper's router receives the stream and routes each query
+  // on arrival; dispatch to a processor happens on that processor's ack.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Query q = queries[i];
+    const SimTimeUs t = config_.arrival_gap_us * static_cast<double>(i);
+    events_.ScheduleAt(t, [this, q, &arrival_time] {
+      arrival_time[q.id] = events_.now();
+      const uint32_t preferred = router_->Enqueue(q);
+      if (processor_idle_[preferred]) {
+        TryDispatch(preferred);
+        return;
+      }
+      // Another idle processor can steal it right away.
+      for (uint32_t p = 0; p < config_.num_processors; ++p) {
+        if (processor_idle_[p]) {
+          TryDispatch(p);
+          break;
+        }
+      }
+    });
+  }
+
+  // Track arrival->dispatch wait through a small shim in TryDispatch: we
+  // capture it via the arrival_time map when the query is dispatched.
+  dispatch_wait_hook_ = [&arrival_time, this](const Query& q) {
+    auto it = arrival_time.find(q.id);
+    if (it != arrival_time.end()) {
+      queue_wait_us_.Add(events_.now() - it->second);
+    }
+  };
+
+  events_.RunUntilEmpty(/*max_events=*/2'000'000'000ULL);
+  dispatch_wait_hook_ = nullptr;
+
+  SimMetrics m;
+  m.queries = results_.size();
+  m.makespan_us = events_.now();
+  m.throughput_qps =
+      m.makespan_us > 0.0 ? static_cast<double>(m.queries) / (m.makespan_us / 1e6) : 0.0;
+  m.mean_response_ms = response_us_.mean() / 1000.0;
+  m.p95_response_ms = Percentile(response_samples_us_, 95.0) / 1000.0;
+  m.mean_queue_wait_ms = queue_wait_us_.mean() / 1000.0;
+  for (const auto& proc : processors_) {
+    m.cache_hits += proc->stats().cache_hits;
+    m.cache_misses += proc->stats().cache_misses;
+    m.nodes_visited += proc->stats().nodes_visited;
+    m.bytes_from_storage += proc->stats().bytes_fetched;
+    m.storage_batches += proc->stats().storage_batches;
+  }
+  m.steals = router_->stats().steals;
+  m.queries_per_processor = router_->stats().per_processor;
+  return m;
+}
+
+void DecoupledClusterSim::TryDispatch(uint32_t p) {
+  if (!processor_idle_[p]) {
+    return;
+  }
+  auto next = router_->NextForProcessor(p);
+  if (!next.has_value()) {
+    processor_idle_[p] = 1;
+    return;
+  }
+  processor_idle_[p] = 0;
+  if (dispatch_wait_hook_) {
+    dispatch_wait_hook_(*next);
+  }
+
+  InFlight& f = in_flight_[p];
+  f = InFlight{};
+  f.query = *next;
+  f.dispatch_time = events_.now();
+
+  // Functional execution happens now: per-processor queries are sequential,
+  // so executing at dispatch keeps every cache byte-accurate.
+  f.result = processors_[p]->Execute(f.query);
+  f.trace = processors_[p]->last_trace();
+
+  // Router decision + query shipping to the processor.
+  const SimTimeUs start_delay =
+      router_->strategy().DecisionCostUs(config_.cost, config_.num_processors) +
+      config_.cost.net.one_way_us;
+  events_.ScheduleAfter(start_delay, [this, p] { AdvanceLevel(p); });
+}
+
+void DecoupledClusterSim::AdvanceLevel(uint32_t p) {
+  InFlight& f = in_flight_[p];
+  const FetchTrace& trace = f.trace;
+
+  if (f.next_level >= trace.level_stats.size()) {
+    // Query complete: result travels back to the router (the ack that lets
+    // the router send the next query to this processor).
+    const SimTimeUs response = events_.now() - f.dispatch_time;
+    response_us_.Add(response);
+    response_samples_us_.push_back(response);
+    results_.push_back(f.result);
+    events_.ScheduleAfter(config_.cost.net.one_way_us, [this, p] {
+      processor_idle_[p] = 1;
+      TryDispatch(p);
+    });
+    return;
+  }
+
+  const FetchTrace::Level& level = trace.level_stats[f.next_level];
+  const CostModel& cost = config_.cost;
+  const SimTimeUs probes_done =
+      events_.now() + cost.cache_lookup_us * static_cast<double>(level.lookups);
+
+  // Collect this level's miss batches (they were recorded level-ordered).
+  const size_t batch_begin = f.next_batch;
+  size_t batch_end = batch_begin;
+  while (batch_end < trace.batches.size() &&
+         trace.batches[batch_end].level == f.next_level) {
+    ++batch_end;
+  }
+  f.next_batch = batch_end;
+  f.batches_outstanding = static_cast<uint32_t>(batch_end - batch_begin);
+  f.level_fetch_done = probes_done;
+
+  auto finish_level = [this, p] {
+    InFlight& fl = in_flight_[p];
+    const FetchTrace::Level& lvl = fl.trace.level_stats[fl.next_level];
+    const CostModel& cm = config_.cost;
+    const bool cached = processors_[p]->cache_enabled();
+    SimTimeUs t = fl.level_fetch_done;
+    if (cached) {
+      t += cm.cache_insert_us * static_cast<double>(lvl.fetched);
+    }
+    t += cm.compute_per_node_us * static_cast<double>(lvl.hits + lvl.fetched);
+    fl.next_level += 1;
+    events_.ScheduleAt(std::max(t, events_.now()), [this, p] { AdvanceLevel(p); });
+  };
+
+  if (f.batches_outstanding == 0) {
+    f.level_fetch_done = probes_done;
+    events_.ScheduleAt(probes_done, [finish_level] { finish_level(); });
+    return;
+  }
+
+  // Dispatch all of this level's batches in parallel to their servers.
+  for (size_t b = batch_begin; b < batch_end; ++b) {
+    const FetchTrace::Batch batch = trace.batches[b];
+    const SimTimeUs arrive = probes_done + cost.net.one_way_us;
+    events_.ScheduleAt(arrive, [this, p, batch, finish_level] {
+      const CostModel& cm = config_.cost;
+      // FIFO service at the storage server.
+      const SimTimeUs start = std::max(events_.now(), server_busy_until_[batch.server]);
+      const SimTimeUs done = start + cm.storage_request_base_us +
+                             cm.storage_per_value_us * static_cast<double>(batch.values);
+      server_busy_until_[batch.server] = done;
+      const SimTimeUs reply = done + cm.net.one_way_us +
+                              cm.net.per_kb_us * static_cast<double>(batch.bytes) / 1024.0;
+      events_.ScheduleAt(reply, [this, p, finish_level] {
+        InFlight& fl = in_flight_[p];
+        fl.level_fetch_done = std::max(fl.level_fetch_done, events_.now());
+        GROUTING_CHECK(fl.batches_outstanding > 0);
+        if (--fl.batches_outstanding == 0) {
+          finish_level();
+        }
+      });
+    });
+  }
+}
+
+}  // namespace grouting

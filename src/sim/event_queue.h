@@ -1,0 +1,86 @@
+// Minimal deterministic discrete-event simulation core: a virtual clock in
+// microseconds and a time-ordered queue of callbacks. Ties are broken by
+// insertion sequence so runs are exactly reproducible.
+
+#ifndef GROUTING_SRC_SIM_EVENT_QUEUE_H_
+#define GROUTING_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/net/cost_model.h"
+#include "src/util/check.h"
+
+namespace grouting {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  SimTimeUs now() const { return now_; }
+
+  // Schedules `action` at absolute virtual time `t` (must be >= now).
+  void ScheduleAt(SimTimeUs t, Action action) {
+    GROUTING_DCHECK(t >= now_);
+    heap_.push(Event{t, next_seq_++, std::move(action)});
+  }
+
+  void ScheduleAfter(SimTimeUs delay, Action action) {
+    GROUTING_DCHECK(delay >= 0.0);
+    ScheduleAt(now_ + delay, std::move(action));
+  }
+
+  bool empty() const { return heap_.empty(); }
+  size_t pending() const { return heap_.size(); }
+
+  // Pops and runs the earliest event; returns false when drained.
+  bool RunNext() {
+    if (heap_.empty()) {
+      return false;
+    }
+    // std::priority_queue::top() is const; move out via const_cast is UB-free
+    // here because we pop immediately and Event's action is the only mutable
+    // payload. Copying the handler instead keeps it simple and safe.
+    Event ev = heap_.top();
+    heap_.pop();
+    now_ = ev.time;
+    ev.action();
+    return true;
+  }
+
+  // Runs to completion; returns the number of events processed.
+  // `max_events` guards against runaway self-scheduling loops.
+  uint64_t RunUntilEmpty(uint64_t max_events = UINT64_MAX) {
+    uint64_t processed = 0;
+    while (processed < max_events && RunNext()) {
+      ++processed;
+    }
+    GROUTING_CHECK_MSG(heap_.empty() || processed < max_events,
+                       "event budget exhausted; likely a scheduling loop");
+    return processed;
+  }
+
+ private:
+  struct Event {
+    SimTimeUs time;
+    uint64_t seq;
+    Action action;
+
+    bool operator>(const Event& other) const {
+      if (time != other.time) {
+        return time > other.time;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  SimTimeUs now_ = 0.0;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace grouting
+
+#endif  // GROUTING_SRC_SIM_EVENT_QUEUE_H_

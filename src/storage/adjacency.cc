@@ -1,0 +1,91 @@
+#include "src/storage/adjacency.h"
+
+#include <cstring>
+
+namespace grouting {
+namespace {
+
+void AppendU16(std::vector<uint8_t>* buf, uint16_t v) {
+  buf->push_back(static_cast<uint8_t>(v & 0xff));
+  buf->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void AppendU32(std::vector<uint8_t>* buf, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf->push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint16_t ReadU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+uint32_t ReadU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;  // little-endian host assumed (x86/ARM64); documented in header
+}
+
+void AppendEdges(std::vector<uint8_t>* buf, std::span<const Edge> edges) {
+  for (const Edge& e : edges) {
+    AppendU32(buf, e.dst);
+    AppendU16(buf, e.label);
+  }
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeAdjacency(const Graph& g, NodeId u) {
+  const auto out = g.OutNeighbors(u);
+  const auto in = g.InNeighbors(u);
+  std::vector<uint8_t> buf;
+  buf.reserve(16 + 6 * (out.size() + in.size()));
+  AppendU32(&buf, u);
+  AppendU16(&buf, g.node_label(u));
+  AppendU16(&buf, 0);
+  AppendU32(&buf, static_cast<uint32_t>(out.size()));
+  AppendU32(&buf, static_cast<uint32_t>(in.size()));
+  AppendEdges(&buf, out);
+  AppendEdges(&buf, in);
+  return buf;
+}
+
+std::vector<uint8_t> EncodeAdjacency(const AdjacencyEntry& entry) {
+  std::vector<uint8_t> buf;
+  buf.reserve(entry.SerializedBytes());
+  AppendU32(&buf, entry.node);
+  AppendU16(&buf, entry.node_label);
+  AppendU16(&buf, 0);
+  AppendU32(&buf, static_cast<uint32_t>(entry.out.size()));
+  AppendU32(&buf, static_cast<uint32_t>(entry.in.size()));
+  AppendEdges(&buf, entry.out);
+  AppendEdges(&buf, entry.in);
+  return buf;
+}
+
+AdjacencyPtr DecodeAdjacency(std::span<const uint8_t> bytes) {
+  if (bytes.size() < 16) {
+    return nullptr;
+  }
+  auto entry = std::make_shared<AdjacencyEntry>();
+  entry->node = ReadU32(bytes.data());
+  entry->node_label = ReadU16(bytes.data() + 4);
+  const uint32_t out_count = ReadU32(bytes.data() + 8);
+  const uint32_t in_count = ReadU32(bytes.data() + 12);
+  const size_t expected = 16 + 6 * (static_cast<size_t>(out_count) + in_count);
+  if (bytes.size() != expected) {
+    return nullptr;
+  }
+  const uint8_t* p = bytes.data() + 16;
+  entry->out.resize(out_count);
+  for (uint32_t i = 0; i < out_count; ++i, p += 6) {
+    entry->out[i] = Edge{ReadU32(p), ReadU16(p + 4)};
+  }
+  entry->in.resize(in_count);
+  for (uint32_t i = 0; i < in_count; ++i, p += 6) {
+    entry->in[i] = Edge{ReadU32(p), ReadU16(p + 4)};
+  }
+  return entry;
+}
+
+}  // namespace grouting

@@ -1,0 +1,48 @@
+// Wire format of a node's adjacency entry, the unit of transfer between the
+// storage tier and query processors (paper Figure 3: key = node id, value =
+// labeled out- and in-neighbour arrays).
+//
+// Layout (little-endian):
+//   [0..4)   node id (sanity check)
+//   [4..6)   node label
+//   [6..8)   reserved
+//   [8..12)  out-edge count
+//   [12..16) in-edge count
+//   then     out edges, in edges — 6 bytes each (4-byte dst + 2-byte label)
+// Total = 16 + 6 * (out + in), matching Graph::AdjacencyBytes().
+
+#ifndef GROUTING_SRC_STORAGE_ADJACENCY_H_
+#define GROUTING_SRC_STORAGE_ADJACENCY_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace grouting {
+
+// Decoded adjacency entry held in processor caches.
+struct AdjacencyEntry {
+  NodeId node = kInvalidNode;
+  Label node_label = kNoLabel;
+  std::vector<Edge> out;
+  std::vector<Edge> in;
+
+  size_t SerializedBytes() const { return 16 + 6 * (out.size() + in.size()); }
+};
+
+using AdjacencyPtr = std::shared_ptr<const AdjacencyEntry>;
+
+// Serialises node u's entry straight from the graph CSR.
+std::vector<uint8_t> EncodeAdjacency(const Graph& g, NodeId u);
+
+// Serialises an already-decoded entry (used for dynamic updates).
+std::vector<uint8_t> EncodeAdjacency(const AdjacencyEntry& entry);
+
+// Parses a wire blob. Returns nullptr on malformed input.
+AdjacencyPtr DecodeAdjacency(std::span<const uint8_t> bytes);
+
+}  // namespace grouting
+
+#endif  // GROUTING_SRC_STORAGE_ADJACENCY_H_

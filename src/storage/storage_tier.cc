@@ -1,0 +1,71 @@
+#include "src/storage/storage_tier.h"
+
+namespace grouting {
+
+AdjacencyPtr StorageServer::Get(NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.get_requests;
+  auto blob = store_.Get(node);
+  if (!blob.has_value()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.values_served;
+  stats_.bytes_served += blob->size();
+  return DecodeAdjacency(*blob);
+}
+
+StorageTier::StorageTier(size_t num_servers, uint32_t hash_seed) : hasher_(hash_seed) {
+  GROUTING_CHECK(num_servers > 0);
+  servers_.reserve(num_servers);
+  for (size_t i = 0; i < num_servers; ++i) {
+    servers_.push_back(std::make_unique<StorageServer>(static_cast<uint32_t>(i)));
+  }
+}
+
+void StorageTier::LoadGraph(const Graph& g) {
+  explicit_placement_.clear();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto blob = EncodeAdjacency(g, u);
+    servers_[ServerOf(u)]->Load(u, blob);
+  }
+}
+
+void StorageTier::LoadGraph(const Graph& g, const PartitionAssignment& placement) {
+  GROUTING_CHECK(placement.size() == g.num_nodes());
+  explicit_placement_ = placement;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    GROUTING_CHECK(placement[u] < servers_.size());
+    const auto blob = EncodeAdjacency(g, u);
+    servers_[placement[u]]->Load(u, blob);
+  }
+}
+
+uint32_t StorageTier::ServerOf(NodeId node) const {
+  if (!explicit_placement_.empty() && node < explicit_placement_.size()) {
+    return explicit_placement_[node];
+  }
+  return hasher_.Place(node, static_cast<uint32_t>(servers_.size()));
+}
+
+AdjacencyPtr StorageTier::Get(NodeId node) {
+  return servers_[ServerOf(node)]->Get(node);
+}
+
+uint64_t StorageTier::TotalLiveBytes() const {
+  uint64_t total = 0;
+  for (const auto& s : servers_) {
+    total += s->store().live_bytes();
+  }
+  return total;
+}
+
+uint64_t StorageTier::TotalValues() const {
+  uint64_t total = 0;
+  for (const auto& s : servers_) {
+    total += s->store().entry_count();
+  }
+  return total;
+}
+
+}  // namespace grouting

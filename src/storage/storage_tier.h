@@ -1,0 +1,100 @@
+// The decoupled storage tier: M storage servers, each a log-structured KV
+// store, holding the graph horizontally partitioned by MurmurHash3 over node
+// ids (RAMCloud's default placement, "inexpensive hash partitioning") or by
+// an explicit assignment for partitioning ablations.
+
+#ifndef GROUTING_SRC_STORAGE_STORAGE_TIER_H_
+#define GROUTING_SRC_STORAGE_STORAGE_TIER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/partition/partitioner.h"
+#include "src/storage/adjacency.h"
+#include "src/storage/kv_store.h"
+
+namespace grouting {
+
+struct StorageServerStats {
+  uint64_t get_requests = 0;   // individual key lookups
+  uint64_t batch_requests = 0;  // multiget batches (the DES queueing unit)
+  uint64_t values_served = 0;
+  uint64_t bytes_served = 0;
+  uint64_t misses = 0;  // keys not found
+};
+
+// One storage server. Requests are serialised by an internal mutex — a real
+// server services its request queue sequentially, and this is exactly what
+// lets the threaded runtime share the tier between processor threads.
+class StorageServer {
+ public:
+  explicit StorageServer(uint32_t id) : id_(id) {}
+
+  uint32_t id() const { return id_; }
+
+  void Load(NodeId node, std::span<const uint8_t> value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    store_.Put(node, value);
+  }
+
+  // Fetches and decodes one adjacency entry; nullptr if absent.
+  AdjacencyPtr Get(NodeId node);
+
+  void Delete(NodeId node) {
+    std::lock_guard<std::mutex> lock(mu_);
+    store_.Delete(node);
+  }
+
+  const LogStructuredStore& store() const { return store_; }
+  const StorageServerStats& stats() const { return stats_; }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = StorageServerStats{};
+  }
+  // Called once per multiget batch for queueing/statistics purposes.
+  void NoteBatch() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.batch_requests;
+  }
+
+ private:
+  uint32_t id_;
+  mutable std::mutex mu_;
+  LogStructuredStore store_;
+  StorageServerStats stats_;
+};
+
+class StorageTier {
+ public:
+  explicit StorageTier(size_t num_servers, uint32_t hash_seed = 0x9747b28cu);
+
+  // Loads every node's adjacency entry, placed by MurmurHash3 (default) or
+  // by an explicit node->server assignment.
+  void LoadGraph(const Graph& g);
+  void LoadGraph(const Graph& g, const PartitionAssignment& placement);
+
+  size_t num_servers() const { return servers_.size(); }
+  uint32_t ServerOf(NodeId node) const;
+
+  // Fetch through the tier (resolves the owning server).
+  AdjacencyPtr Get(NodeId node);
+
+  StorageServer& server(size_t i) { return *servers_[i]; }
+  const StorageServer& server(size_t i) const { return *servers_[i]; }
+
+  uint64_t TotalLiveBytes() const;
+  uint64_t TotalValues() const;
+
+ private:
+  std::vector<std::unique_ptr<StorageServer>> servers_;
+  HashPartitioner hasher_;
+  // Empty when hash placement is in effect.
+  PartitionAssignment explicit_placement_;
+};
+
+}  // namespace grouting
+
+#endif  // GROUTING_SRC_STORAGE_STORAGE_TIER_H_

@@ -1,0 +1,47 @@
+// Lightweight precondition / invariant checking macros.
+//
+// Following the Core Guidelines (I.6 "Prefer Expects() for preconditions"), but
+// without pulling in GSL: GROUTING_CHECK is always on, GROUTING_DCHECK only in
+// debug builds. Failures print the expression and location, then abort — in a
+// systems library a violated invariant means continuing would corrupt state.
+
+#ifndef GROUTING_SRC_UTIL_CHECK_H_
+#define GROUTING_SRC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace grouting {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace grouting
+
+#define GROUTING_CHECK(expr)                                       \
+  do {                                                             \
+    if (!(expr)) {                                                 \
+      ::grouting::internal::CheckFailed(#expr, __FILE__, __LINE__); \
+    }                                                              \
+  } while (false)
+
+#define GROUTING_CHECK_MSG(expr, msg)                                          \
+  do {                                                                         \
+    if (!(expr)) {                                                             \
+      ::grouting::internal::CheckFailed(#expr " (" msg ")", __FILE__, __LINE__); \
+    }                                                                          \
+  } while (false)
+
+#ifdef NDEBUG
+#define GROUTING_DCHECK(expr) \
+  do {                        \
+  } while (false)
+#else
+#define GROUTING_DCHECK(expr) GROUTING_CHECK(expr)
+#endif
+
+#endif  // GROUTING_SRC_UTIL_CHECK_H_

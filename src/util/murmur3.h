@@ -1,0 +1,31 @@
+// MurmurHash3 — the hash family RAMCloud (and therefore our storage tier)
+// uses to place keys onto storage servers, and the hash the paper's "hash
+// routing" baseline applies to query node ids.
+//
+// Reimplemented from Austin Appleby's public-domain reference. We provide
+// the x86 32-bit variant (used for partitioning decisions, where we only
+// need a bucket index) and the x64 128-bit variant (used where collision
+// resistance matters, e.g. KV store internal hashing).
+
+#ifndef GROUTING_SRC_UTIL_MURMUR3_H_
+#define GROUTING_SRC_UTIL_MURMUR3_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace grouting {
+
+// 32-bit MurmurHash3 of an arbitrary byte buffer.
+uint32_t Murmur3_x86_32(const void* key, size_t len, uint32_t seed);
+
+// 128-bit MurmurHash3; writes two 64-bit halves into out[0], out[1].
+void Murmur3_x64_128(const void* key, size_t len, uint32_t seed, uint64_t out[2]);
+
+// Convenience: hash a 64-bit key (e.g. a node id) to 32 bits.
+inline uint32_t Murmur3Hash64(uint64_t key, uint32_t seed = 0x9747b28cu) {
+  return Murmur3_x86_32(&key, sizeof(key), seed);
+}
+
+}  // namespace grouting
+
+#endif  // GROUTING_SRC_UTIL_MURMUR3_H_

@@ -1,0 +1,126 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// All stochastic components of the library (graph generators, workload
+// generators, random-walk queries, Nelder-Mead restarts) take an explicit
+// seed so that every experiment is exactly reproducible. We implement
+// SplitMix64 (for seeding) and Xoshiro256** (for bulk generation) rather
+// than using std::mt19937 because their state is small, they are much
+// faster, and their output is stable across standard library versions.
+
+#ifndef GROUTING_SRC_UTIL_RNG_H_
+#define GROUTING_SRC_UTIL_RNG_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "src/util/check.h"
+
+namespace grouting {
+
+// SplitMix64: tiny generator used to expand a 64-bit seed into larger state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// Xoshiro256**: general-purpose generator. Satisfies the subset of
+// UniformRandomBitGenerator we need.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) {
+      s = sm.Next();
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<uint64_t>::max(); }
+
+  result_type operator()() { return Next(); }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  // multiply-shift rejection method to avoid modulo bias.
+  uint64_t NextBounded(uint64_t bound) {
+    GROUTING_DCHECK(bound > 0);
+    __uint128_t m = static_cast<__uint128_t>(Next()) * bound;
+    auto low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      const uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        m = static_cast<__uint128_t>(Next()) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    GROUTING_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Bernoulli trial with probability p of returning true.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  // Standard normal via Box-Muller (sufficient quality for embedding init).
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    while (u1 <= 1e-12) {
+      u1 = NextDouble();
+    }
+    constexpr double kTwoPi = 6.283185307179586476925;
+    return __builtin_sqrt(-2.0 * __builtin_log(u1)) * __builtin_cos(kTwoPi * u2);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+// Fisher-Yates shuffle of a random-access container.
+template <typename Container>
+void Shuffle(Container& c, Rng& rng) {
+  const size_t n = c.size();
+  for (size_t i = n; i > 1; --i) {
+    const size_t j = rng.NextBounded(i);
+    using std::swap;
+    swap(c[i - 1], c[j]);
+  }
+}
+
+}  // namespace grouting
+
+#endif  // GROUTING_SRC_UTIL_RNG_H_

@@ -1,0 +1,108 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "src/util/check.h"
+
+namespace grouting {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram() { std::memset(buckets_, 0, sizeof(buckets_)); }
+
+void Histogram::Add(uint64_t value) {
+  const int bucket = value == 0 ? 0 : 64 - __builtin_clzll(value);
+  buckets_[std::min(bucket, kBuckets - 1)] += 1;
+  ++count_;
+  sum_ += static_cast<double>(value);
+}
+
+double Histogram::Quantile(double q) const {
+  GROUTING_CHECK(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) {
+    return 0.0;
+  }
+  const auto target = static_cast<int64_t>(q * static_cast<double>(count_ - 1));
+  int64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen > target) {
+      const double lo = i == 0 ? 0.0 : std::pow(2.0, i - 1);
+      const double hi = std::pow(2.0, i);
+      return (lo + hi) / 2.0;
+    }
+  }
+  return std::pow(2.0, kBuckets - 1);
+}
+
+std::string Histogram::ToString() const {
+  std::string out;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "[2^%d): %lld  ", i, static_cast<long long>(buckets_[i]));
+    out += buf;
+  }
+  return out;
+}
+
+double Percentile(std::vector<double> samples, double p) {
+  GROUTING_CHECK(p >= 0.0 && p <= 100.0);
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::sort(samples.begin(), samples.end());
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+}  // namespace grouting

@@ -1,0 +1,128 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+#include "src/util/check.h"
+
+namespace grouting {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  GROUTING_CHECK(!header_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  GROUTING_CHECK(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  std::string s(buf);
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') {
+      s.pop_back();
+    }
+    if (!s.empty() && s.back() == '.') {
+      s.pop_back();
+    }
+  }
+  return s;
+}
+
+std::string Table::Int(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return std::string(buf);
+}
+
+std::string Table::Bytes(uint64_t bytes) {
+  constexpr const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 4) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", v, kUnits[unit]);
+  return std::string(buf);
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "| ";
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+      line += " | ";
+    }
+    line.pop_back();
+    line += "\n";
+    return line;
+  };
+
+  std::string sep = "+";
+  for (size_t c = 0; c < widths.size(); ++c) {
+    sep.append(widths[c] + 2, '-');
+    sep += "+";
+  }
+  sep += "\n";
+
+  std::string out = sep + render_row(header_) + sep;
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  out += sep;
+  return out;
+}
+
+uint64_t ParseByteSize(const std::string& text) {
+  if (text.empty()) {
+    return 0;
+  }
+  size_t i = 0;
+  uint64_t value = 0;
+  bool any_digit = false;
+  while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+    value = value * 10 + static_cast<uint64_t>(text[i] - '0');
+    any_digit = true;
+    ++i;
+  }
+  if (!any_digit) {
+    return 0;
+  }
+  std::string unit = text.substr(i);
+  std::transform(unit.begin(), unit.end(), unit.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (unit.empty() || unit == "B") {
+    return value;
+  }
+  if (unit == "KB" || unit == "K") {
+    return value << 10;
+  }
+  if (unit == "MB" || unit == "M") {
+    return value << 20;
+  }
+  if (unit == "GB" || unit == "G") {
+    return value << 30;
+  }
+  if (unit == "TB" || unit == "T") {
+    return value << 40;
+  }
+  return 0;
+}
+
+}  // namespace grouting

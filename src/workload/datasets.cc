@@ -1,0 +1,108 @@
+#include "src/workload/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/graph/generators.h"
+#include "src/util/check.h"
+
+namespace grouting {
+
+const std::vector<DatasetSpec>& AllDatasets() {
+  static const std::vector<DatasetSpec> kSpecs = {
+      {DatasetId::kWebGraphLike, "webgraph-like", "WebGraph (uk-2007-05)", 105'896'555ULL,
+       3'738'733'648ULL, "60.3 GB", 100'000, 24.0},
+      {DatasetId::kFriendsterLike, "friendster-like", "Friendster", 65'608'366ULL,
+       1'806'067'135ULL, "33.5 GB", 66'000, 28.0},
+      {DatasetId::kMemetrackerLike, "memetracker-like", "Memetracker", 96'608'034ULL,
+       418'237'269ULL, "8.2 GB", 96'000, 4.3},
+      {DatasetId::kFreebaseLike, "freebase-like", "Freebase", 49'731'389ULL,
+       46'708'421ULL, "1.3 GB", 50'000, 1.0},
+  };
+  return kSpecs;
+}
+
+const DatasetSpec& GetDatasetSpec(DatasetId id) {
+  for (const auto& spec : AllDatasets()) {
+    if (spec.id == id) {
+      return spec;
+    }
+  }
+  GROUTING_CHECK_MSG(false, "unknown dataset id");
+  return AllDatasets().front();
+}
+
+namespace {
+
+// Scales a square community grid so total nodes track `scale` linearly.
+size_t ScaledGridSide(size_t base_side, double scale) {
+  const double side = static_cast<double>(base_side) * std::sqrt(scale);
+  return std::max<size_t>(3, static_cast<size_t>(side + 0.5));
+}
+
+}  // namespace
+
+Graph MakeDataset(DatasetId id, double scale, uint64_t seed) {
+  GROUTING_CHECK(scale > 0.0);
+  const DatasetSpec& spec = GetDatasetSpec(id);
+
+  switch (id) {
+    case DatasetId::kWebGraphLike: {
+      // Web crawl: site communities with shared regional portal hubs.
+      // High 2-hop overlap (~0.9) between nearby pages, heavy degree tail,
+      // large effective diameter — the regime where smart routing shines
+      // (caching very effective; paper Sections 4.2-4.7).
+      LocalityWebConfig cfg;
+      cfg.grid_width = cfg.grid_height = ScaledGridSide(32, scale);
+      cfg.community_size = 150;
+      cfg.intra_degree = 10;
+      cfg.inter_degree = 1;
+      cfg.hub_zone = 3;
+      cfg.hubs_per_zone = 2;
+      cfg.hub_link_prob = 0.9;
+      return GenerateLocalityWeb(cfg, seed);
+    }
+    case DatasetId::kFriendsterLike: {
+      // Social network: preferential attachment. Giant global hubs, huge
+      // 2-hop balls, LOW overlap between nearby users' neighbourhoods —
+      // caching is least effective here (paper Section 4.8, Fig 16b).
+      const auto nodes = static_cast<size_t>(
+          std::max(64.0, static_cast<double>(spec.base_nodes) * scale));
+      return GenerateBarabasiAlbert(nodes, static_cast<size_t>(spec.avg_degree), seed);
+    }
+    case DatasetId::kMemetrackerLike: {
+      // News/blog hyperlinks: sparse (avg degree ~4.3) with moderate
+      // locality and smaller shared hubs — the "baselines gain 30%, smart
+      // routing another 10%" middle ground (paper Fig 16a).
+      LocalityWebConfig cfg;
+      cfg.grid_width = cfg.grid_height = ScaledGridSide(36, scale);
+      cfg.community_size = 75;
+      cfg.intra_degree = 3;
+      cfg.inter_degree = 1;
+      cfg.hub_zone = 3;
+      cfg.hubs_per_zone = 1;
+      cfg.hub_link_prob = 0.35;
+      return GenerateLocalityWeb(cfg, seed);
+    }
+    case DatasetId::kFreebaseLike: {
+      // Knowledge graph: very sparse (avg degree ~1), labeled entities and
+      // relations, tiny h-hop neighbourhoods — queries are cheap and the
+      // cache matters less, but routing flexibility still pays (Fig 7c).
+      LocalityWebConfig cfg;
+      cfg.grid_width = cfg.grid_height = ScaledGridSide(32, scale);
+      cfg.community_size = 50;
+      cfg.intra_degree = 1;
+      cfg.inter_degree = 1;
+      cfg.hub_zone = 4;
+      cfg.hubs_per_zone = 1;
+      cfg.hub_link_prob = 0.10;
+      cfg.labels.num_node_labels = 64;   // entity types
+      cfg.labels.num_edge_labels = 256;  // relation types
+      return GenerateLocalityWeb(cfg, seed);
+    }
+  }
+  GROUTING_CHECK_MSG(false, "unknown dataset id");
+  return Graph{};
+}
+
+}  // namespace grouting

@@ -1,0 +1,56 @@
+// Synthetic stand-ins for the paper's four datasets (Table 1), scaled ~1000x
+// down for this environment. Each stand-in matches the *relative* structural
+// features the paper's analysis depends on, not the raw sizes:
+//
+//   WebGraph     105.9M nodes, 3.74B edges — strong power law, dense,
+//                high hotspot-neighbourhood overlap (caching very effective)
+//                -> R-MAT (a=0.57) with avg degree ~24.
+//   Friendster    65.6M nodes, 1.81B edges — social, huge 2-hop
+//                neighbourhoods, LOW hotspot overlap (caching less
+//                effective; paper Sec 4.8) -> Barabasi-Albert, avg deg ~28.
+//   Memetracker   96.6M nodes, 418M edges — sparse (avg deg 4.3), skewed
+//                -> R-MAT, avg degree ~4.
+//   Freebase      49.7M nodes, 46.7M edges — very sparse knowledge graph
+//                (avg deg ~0.94), labeled -> R-MAT, avg degree ~1, labels.
+
+#ifndef GROUTING_SRC_WORKLOAD_DATASETS_H_
+#define GROUTING_SRC_WORKLOAD_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace grouting {
+
+enum class DatasetId {
+  kWebGraphLike,
+  kFriendsterLike,
+  kMemetrackerLike,
+  kFreebaseLike,
+};
+
+struct DatasetSpec {
+  DatasetId id;
+  std::string name;        // e.g. "webgraph-like"
+  std::string paper_name;  // e.g. "WebGraph (uk-2007-05)"
+  // Paper's Table 1 values (for side-by-side reporting).
+  uint64_t paper_nodes;
+  uint64_t paper_edges;
+  const char* paper_size_on_disk;
+  // Stand-in base size at scale = 1.0.
+  size_t base_nodes;
+  double avg_degree;
+};
+
+const std::vector<DatasetSpec>& AllDatasets();
+const DatasetSpec& GetDatasetSpec(DatasetId id);
+
+// Builds the stand-in graph. `scale` multiplies the node count (tests use
+// ~0.1, benches 1.0). Deterministic in (id, scale, seed).
+Graph MakeDataset(DatasetId id, double scale = 1.0, uint64_t seed = 4242);
+
+}  // namespace grouting
+
+#endif  // GROUTING_SRC_WORKLOAD_DATASETS_H_

@@ -1,0 +1,83 @@
+#include "src/workload/workload.h"
+
+#include "src/graph/traversal.h"
+#include "src/util/rng.h"
+
+namespace grouting {
+namespace {
+
+QueryType DrawType(const WorkloadConfig& config, Rng& rng) {
+  const double total =
+      config.weight_aggregation + config.weight_random_walk + config.weight_reachability;
+  GROUTING_CHECK(total > 0.0);
+  const double r = rng.NextDouble() * total;
+  if (r < config.weight_aggregation) {
+    return QueryType::kNeighborAggregation;
+  }
+  if (r < config.weight_aggregation + config.weight_random_walk) {
+    return QueryType::kRandomWalk;
+  }
+  return QueryType::kReachability;
+}
+
+Query MakeQuery(const Graph& g, NodeId query_node, uint64_t id,
+                const WorkloadConfig& config, Rng& rng) {
+  Query q;
+  q.id = id;
+  q.node = query_node;
+  q.hops = config.hops;
+  q.restart_prob = config.restart_prob;
+  q.seed = rng.Next();
+  q.type = DrawType(config, rng);
+  if (q.type == QueryType::kReachability) {
+    // Target within 2h hops half the time (bidirectional search does real
+    // work), otherwise uniform (usually unreachable within h).
+    if (rng.NextBool(0.5)) {
+      const auto near = KHopNeighborhood(g, query_node, 2 * config.hops);
+      if (!near.empty()) {
+        q.target = near[rng.NextBounded(near.size())];
+      }
+    }
+    if (q.target == kInvalidNode) {
+      q.target = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    }
+  }
+  return q;
+}
+
+}  // namespace
+
+std::vector<Query> GenerateHotspotWorkload(const Graph& g, const WorkloadConfig& config) {
+  GROUTING_CHECK(g.num_nodes() > 0);
+  Rng rng(config.seed);
+  std::vector<Query> queries;
+  queries.reserve(config.num_hotspots * config.queries_per_hotspot);
+  uint64_t id = 0;
+  for (size_t hs = 0; hs < config.num_hotspots; ++hs) {
+    const auto center = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    const auto region = KHopNeighborhood(g, center, config.hotspot_radius);
+    for (size_t i = 0; i < config.queries_per_hotspot; ++i) {
+      // Query nodes at most r hops from the center (the center itself when
+      // the region is empty, e.g. isolated nodes).
+      const NodeId node =
+          region.empty() ? center : region[rng.NextBounded(region.size())];
+      queries.push_back(MakeQuery(g, node, id++, config, rng));
+    }
+  }
+  return queries;
+}
+
+std::vector<Query> GenerateUniformWorkload(const Graph& g, size_t count,
+                                           const WorkloadConfig& config) {
+  GROUTING_CHECK(g.num_nodes() > 0);
+  Rng rng(config.seed ^ 0xabcdef12345ULL);
+  std::vector<Query> queries;
+  queries.reserve(count);
+  for (uint64_t id = 0; id < count; ++id) {
+    const auto node = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    queries.push_back(MakeQuery(g, node, id, config, rng));
+  }
+  return queries;
+}
+
+}  // namespace grouting

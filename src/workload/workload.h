@@ -1,0 +1,44 @@
+// Hotspot query workload generator (paper Section 4.1):
+//
+//   "we select 100 nodes from the graph uniformly at random. Then, for each
+//    of these nodes, we select 10 different query nodes which are at most
+//    r-hops away ... every 10 of them are from one hotspot region ... all
+//    queries from the same hotspot are grouped together and sent
+//    consecutively."
+//
+// Query types are drawn as a uniform mixture of the three h-hop queries.
+
+#ifndef GROUTING_SRC_WORKLOAD_WORKLOAD_H_
+#define GROUTING_SRC_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/query/query.h"
+
+namespace grouting {
+
+struct WorkloadConfig {
+  size_t num_hotspots = 100;
+  size_t queries_per_hotspot = 10;
+  int32_t hotspot_radius = 2;  // r
+  int32_t hops = 2;            // h
+  // Relative weights of the three query types (default: uniform mixture).
+  double weight_aggregation = 1.0;
+  double weight_random_walk = 1.0;
+  double weight_reachability = 1.0;
+  double restart_prob = 0.15;
+  uint64_t seed = 2024;
+};
+
+// Generates num_hotspots * queries_per_hotspot queries, hotspot-grouped.
+std::vector<Query> GenerateHotspotWorkload(const Graph& g, const WorkloadConfig& config);
+
+// Uniform-random query nodes (no hotspot structure) — used by ablations.
+std::vector<Query> GenerateUniformWorkload(const Graph& g, size_t count,
+                                           const WorkloadConfig& config);
+
+}  // namespace grouting
+
+#endif  // GROUTING_SRC_WORKLOAD_WORKLOAD_H_

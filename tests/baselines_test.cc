@@ -1,0 +1,152 @@
+// Tests for the coupled baseline systems (SEDGE-like BSP, PowerGraph-like
+// GAS): answer agreement with the reference executor, cost-model sanity,
+// and the effect of partition quality.
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/coupled.h"
+#include "src/graph/generators.h"
+#include "src/partition/multilevel.h"
+#include "src/partition/partitioner.h"
+#include "src/workload/workload.h"
+
+namespace grouting {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = GenerateCommunityGraph(12, 40, 5, 1, 5);
+    WorkloadConfig wc;
+    wc.num_hotspots = 12;
+    wc.queries_per_hotspot = 4;
+    wc.seed = 31;
+    queries_ = GenerateHotspotWorkload(graph_, wc);
+  }
+
+  Graph graph_;
+  std::vector<Query> queries_;
+};
+
+TEST_F(BaselinesTest, TraceQueryLevelsMatchesExecutor) {
+  DirectGraphSource reference(graph_);
+  for (size_t i = 0; i < 10; ++i) {
+    const auto lf = TraceQueryLevels(graph_, queries_[i]);
+    const auto expected = ExecuteQuery(queries_[i], reference);
+    EXPECT_EQ(lf.result.aggregate, expected.aggregate);
+    EXPECT_EQ(lf.result.reachable, expected.reachable);
+    EXPECT_EQ(lf.result.walk_end, expected.walk_end);
+    EXPECT_FALSE(lf.levels.empty());
+    EXPECT_EQ(lf.levels[0].size(), 1u);  // level 0 = the query node
+  }
+}
+
+TEST_F(BaselinesTest, SedgeAnswersMatchReference) {
+  CoupledConfig cfg;
+  cfg.num_servers = 4;
+  auto parts = MultilevelPartitioner().Partition(graph_, 4);
+  SedgeLikeSystem sedge(graph_, cfg, parts, 1.0);
+  auto metrics = sedge.Run(queries_);
+  EXPECT_EQ(metrics.queries, queries_.size());
+  DirectGraphSource reference(graph_);
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    const auto expected = ExecuteQuery(queries_[i], reference);
+    EXPECT_EQ(sedge.results()[i].aggregate, expected.aggregate);
+    EXPECT_EQ(sedge.results()[i].reachable, expected.reachable);
+  }
+}
+
+TEST_F(BaselinesTest, PowerGraphAnswersMatchReference) {
+  CoupledConfig cfg;
+  cfg.num_servers = 4;
+  auto cut = GreedyVertexCut(graph_, 4, 3);
+  PowerGraphLikeSystem pg(graph_, cfg, std::move(cut), 0.5);
+  auto metrics = pg.Run(queries_);
+  EXPECT_EQ(metrics.queries, queries_.size());
+  DirectGraphSource reference(graph_);
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    const auto expected = ExecuteQuery(queries_[i], reference);
+    EXPECT_EQ(pg.results()[i].aggregate, expected.aggregate);
+    EXPECT_EQ(pg.results()[i].reachable, expected.reachable);
+  }
+}
+
+TEST_F(BaselinesTest, SedgeMetricsSanity) {
+  CoupledConfig cfg;
+  cfg.num_servers = 4;
+  auto parts = MultilevelPartitioner().Partition(graph_, 4);
+  SedgeLikeSystem sedge(graph_, cfg, parts, 2.5);
+  auto metrics = sedge.Run(queries_);
+  EXPECT_GT(metrics.makespan_us, 0.0);
+  EXPECT_GT(metrics.throughput_qps, 0.0);
+  EXPECT_GT(metrics.mean_response_ms, 0.0);
+  EXPECT_GT(metrics.supersteps, queries_.size());  // >= 1 superstep per query
+  EXPECT_DOUBLE_EQ(metrics.partition_seconds, 2.5);
+}
+
+TEST_F(BaselinesTest, BspBarrierDominatesSmallQueries) {
+  // With an enormous barrier cost, response time must scale with superstep
+  // count rather than data volume.
+  CoupledConfig cheap;
+  cheap.num_servers = 4;
+  cheap.superstep_overhead_us = 1.0;
+  CoupledConfig expensive = cheap;
+  expensive.superstep_overhead_us = 50000.0;
+  auto parts = MultilevelPartitioner().Partition(graph_, 4);
+  SedgeLikeSystem a(graph_, cheap, parts, 0);
+  SedgeLikeSystem b(graph_, expensive, parts, 0);
+  const double ra = a.Run(queries_).mean_response_ms;
+  const double rb = b.Run(queries_).mean_response_ms;
+  EXPECT_GT(rb, ra * 10);
+}
+
+TEST_F(BaselinesTest, BetterPartitionFewerMessages) {
+  CoupledConfig cfg;
+  cfg.num_servers = 4;
+  auto good = MultilevelPartitioner().Partition(graph_, 4);
+  auto bad = HashPartitioner().Partition(graph_, 4);
+  SedgeLikeSystem sys_good(graph_, cfg, good, 0);
+  SedgeLikeSystem sys_bad(graph_, cfg, bad, 0);
+  const auto m_good = sys_good.Run(queries_);
+  const auto m_bad = sys_bad.Run(queries_);
+  // Community-structured graph: the multilevel partition cuts fewer edges,
+  // so BSP execution sends fewer cross-server messages.
+  EXPECT_LT(m_good.network_messages, m_bad.network_messages);
+}
+
+TEST_F(BaselinesTest, PowerGraphCheaperRoundsThanBsp) {
+  CoupledConfig cfg;
+  cfg.num_servers = 4;
+  auto parts = MultilevelPartitioner().Partition(graph_, 4);
+  SedgeLikeSystem sedge(graph_, cfg, parts, 0);
+  auto cut = GreedyVertexCut(graph_, 4, 3);
+  PowerGraphLikeSystem pg(graph_, cfg, std::move(cut), 0);
+  // Default knobs: GAS rounds are much cheaper than BSP supersteps.
+  EXPECT_GT(pg.Run(queries_).throughput_qps, sedge.Run(queries_).throughput_qps);
+}
+
+TEST_F(BaselinesTest, RandomWalksPayPerStepInBsp) {
+  // A 6-step walk needs ~6 supersteps; an aggregation of h=2 needs ~3.
+  CoupledConfig cfg;
+  cfg.num_servers = 2;
+  auto parts = RangePartitioner().Partition(graph_, 2);
+  Query walk;
+  walk.type = QueryType::kRandomWalk;
+  walk.node = 0;
+  walk.hops = 6;
+  walk.seed = 1;
+  Query agg;
+  agg.type = QueryType::kNeighborAggregation;
+  agg.node = 0;
+  agg.hops = 2;
+  SedgeLikeSystem sys(graph_, cfg, parts, 0);
+  std::vector<Query> walk_only{walk};
+  std::vector<Query> agg_only{agg};
+  const auto m_walk = sys.Run(walk_only);
+  SedgeLikeSystem sys2(graph_, cfg, parts, 0);
+  const auto m_agg = sys2.Run(agg_only);
+  EXPECT_GT(m_walk.supersteps, m_agg.supersteps);
+}
+
+}  // namespace
+}  // namespace grouting

@@ -1,0 +1,269 @@
+// Tests for the Nelder-Mead optimiser and the landmark-based graph
+// embedding, including the paper's key properties: error decreases with
+// dimensionality, and nearby nodes get nearby coordinates.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/embed/embedding.h"
+#include "src/embed/nelder_mead.h"
+#include "src/graph/generators.h"
+#include "src/graph/traversal.h"
+#include "src/util/rng.h"
+
+namespace grouting {
+namespace {
+
+TEST(NelderMeadTest, MinimizesQuadratic1D) {
+  std::vector<double> x{10.0};
+  const double best = NelderMead(
+      [](std::span<const double> p) { return (p[0] - 3.0) * (p[0] - 3.0); },
+      std::span<double>(x));
+  EXPECT_NEAR(x[0], 3.0, 1e-2);
+  EXPECT_NEAR(best, 0.0, 1e-3);
+}
+
+TEST(NelderMeadTest, MinimizesSphere5D) {
+  std::vector<double> x{4, -3, 2, -1, 5};
+  NelderMeadOptions opts;
+  opts.max_evals = 2000;
+  opts.tolerance = 1e-10;
+  NelderMead(
+      [](std::span<const double> p) {
+        double s = 0;
+        for (double v : p) {
+          s += v * v;
+        }
+        return s;
+      },
+      std::span<double>(x), opts);
+  for (double v : x) {
+    EXPECT_NEAR(v, 0.0, 0.05);
+  }
+}
+
+TEST(NelderMeadTest, RosenbrockMakesProgress) {
+  std::vector<double> x{-1.2, 1.0};
+  NelderMeadOptions opts;
+  opts.max_evals = 4000;
+  opts.tolerance = 1e-12;
+  const double best = NelderMead(
+      [](std::span<const double> p) {
+        const double a = 1.0 - p[0];
+        const double b = p[1] - p[0] * p[0];
+        return a * a + 100.0 * b * b;
+      },
+      std::span<double>(x), opts);
+  EXPECT_LT(best, 0.5);  // from f(-1.2, 1) = 24.2
+}
+
+TEST(NelderMeadTest, RespectsEvalBudget) {
+  int evals = 0;
+  std::vector<double> x{1.0, 1.0};
+  NelderMeadOptions opts;
+  opts.max_evals = 50;
+  NelderMead(
+      [&evals](std::span<const double> p) {
+        ++evals;
+        return p[0] * p[0] + p[1] * p[1];
+      },
+      std::span<double>(x), opts);
+  EXPECT_LE(evals, 50 + 3);  // simplex init may finish the last iteration
+}
+
+// ----------------------------------------------------------- Embedding --
+
+EmbedConfig TestEmbedConfig(size_t dims) {
+  EmbedConfig cfg;
+  cfg.dimensions = dims;
+  cfg.seed = 3;
+  cfg.num_threads = 2;
+  return cfg;
+}
+
+LandmarkConfig TestLandmarkConfig(size_t count) {
+  LandmarkConfig cfg;
+  cfg.num_landmarks = count;
+  cfg.min_separation = 2;
+  cfg.seed = 4;
+  return cfg;
+}
+
+TEST(EmbeddingTest, AllConnectedNodesEmbedded) {
+  Graph g = GenerateBarabasiAlbert(400, 3, 1);
+  auto lms = LandmarkSet::Select(g, TestLandmarkConfig(12));
+  auto emb = GraphEmbedding::Build(lms, TestEmbedConfig(6));
+  EXPECT_EQ(emb.dimensions(), 6u);
+  EXPECT_EQ(emb.num_nodes(), g.num_nodes());
+  size_t embedded = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    embedded += emb.IsEmbedded(u);
+  }
+  EXPECT_GT(embedded, g.num_nodes() * 95 / 100);
+}
+
+TEST(EmbeddingTest, DisconnectedNodeStaysUnembedded) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 0);
+  b.AddNode();  // node 3, isolated
+  Graph g = b.Build();
+  LandmarkConfig lc = TestLandmarkConfig(2);
+  auto lms = LandmarkSet::Select(g, lc);
+  auto emb = GraphEmbedding::Build(lms, TestEmbedConfig(4));
+  EXPECT_FALSE(emb.IsEmbedded(3));
+}
+
+TEST(EmbeddingTest, GridGeometryRecovered) {
+  // A 2D grid embeds almost isometrically: far grid nodes must be far in
+  // the embedding, near nodes near.
+  Graph g = GenerateGrid(15, 15);
+  auto lms = LandmarkSet::Select(g, TestLandmarkConfig(10));
+  auto emb = GraphEmbedding::Build(lms, TestEmbedConfig(4));
+  auto l2 = [&](NodeId a, NodeId b) {
+    auto ca = emb.Coords(a);
+    auto cb = emb.Coords(b);
+    double s = 0;
+    for (size_t k = 0; k < ca.size(); ++k) {
+      s += (ca[k] - cb[k]) * (ca[k] - cb[k]);
+    }
+    return std::sqrt(s);
+  };
+  // corners: 0 and 224 are 28 hops apart; adjacent nodes 1 hop.
+  EXPECT_GT(l2(0, 224), 5.0 * l2(0, 1));
+}
+
+TEST(EmbeddingTest, ErrorDecreasesWithDimensions) {
+  // A preferential-attachment graph has intrinsic dimension well above 2,
+  // so a 1-D embedding must be clearly worse than an 8-D one (a grid would
+  // already be near-perfect at D=2, hiding the effect).
+  Graph g = GenerateBarabasiAlbert(500, 4, 5);
+  auto lms = LandmarkSet::Select(g, TestLandmarkConfig(12));
+  auto emb1 = GraphEmbedding::Build(lms, TestEmbedConfig(1));
+  auto emb8 = GraphEmbedding::Build(lms, TestEmbedConfig(8));
+  Rng ra(9);
+  Rng rb(9);
+  const double err1 = emb1.MeasureRelativeError(g, 150, 3, ra);
+  const double err8 = emb8.MeasureRelativeError(g, 150, 3, rb);
+  // Paper Fig 12a: relative error shrinks as dimensionality grows.
+  EXPECT_LT(err8, err1);
+}
+
+TEST(EmbeddingTest, NearbyNodesGetNearbyCoordinates) {
+  LocalityWebConfig web;
+  web.grid_width = 8;
+  web.grid_height = 8;
+  web.community_size = 40;
+  Graph g = GenerateLocalityWeb(web, 6);
+  auto lms = LandmarkSet::Select(g, TestLandmarkConfig(24));
+  auto emb = GraphEmbedding::Build(lms, TestEmbedConfig(8));
+  Rng rng(7);
+  double near_sum = 0;
+  double far_sum = 0;
+  int samples = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto u = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    auto near = KHopNeighborhood(g, u, 1);
+    if (near.empty() || !emb.IsEmbedded(u)) {
+      continue;
+    }
+    const NodeId v = near[rng.NextBounded(near.size())];
+    const auto far_node = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    if (!emb.IsEmbedded(v) || !emb.IsEmbedded(far_node)) {
+      continue;
+    }
+    std::vector<double> cu(emb.Coords(u).begin(), emb.Coords(u).end());
+    near_sum += emb.DistanceToPoint(v, cu);
+    far_sum += emb.DistanceToPoint(far_node, cu);
+    ++samples;
+  }
+  ASSERT_GT(samples, 20);
+  EXPECT_LT(near_sum / samples, far_sum / samples);
+}
+
+TEST(EmbeddingTest, DeterministicInSeed) {
+  Graph g = GenerateErdosRenyi(200, 800, 8);
+  auto lms = LandmarkSet::Select(g, TestLandmarkConfig(8));
+  EmbedConfig cfg = TestEmbedConfig(5);
+  cfg.num_threads = 1;
+  auto a = GraphEmbedding::Build(lms, cfg);
+  auto b = GraphEmbedding::Build(lms, cfg);
+  for (NodeId u = 0; u < g.num_nodes(); u += 7) {
+    if (!a.IsEmbedded(u)) {
+      continue;
+    }
+    auto ca = a.Coords(u);
+    auto cb = b.Coords(u);
+    for (size_t k = 0; k < ca.size(); ++k) {
+      EXPECT_FLOAT_EQ(ca[k], cb[k]);
+    }
+  }
+}
+
+TEST(EmbeddingTest, IncrementalAddMatchesRegion) {
+  Graph g = GenerateGrid(12, 12);
+  std::vector<uint8_t> allowed(g.num_nodes(), 1);
+  const NodeId hidden = 77;  // interior node
+  allowed[hidden] = 0;
+  auto lms = LandmarkSet::Select(g, TestLandmarkConfig(10), &allowed);
+  auto emb = GraphEmbedding::Build(lms, TestEmbedConfig(4));
+  EXPECT_FALSE(emb.IsEmbedded(hidden));
+  ASSERT_TRUE(emb.AddNodeIncremental(g, hidden, lms));
+  EXPECT_TRUE(emb.IsEmbedded(hidden));
+  // The incrementally placed node should be closer to its grid neighbour
+  // than to the far corner.
+  std::vector<double> c(emb.Coords(hidden).begin(), emb.Coords(hidden).end());
+  EXPECT_LT(emb.DistanceToPoint(hidden - 1, c), emb.DistanceToPoint(143, c));
+}
+
+TEST(EmbeddingTest, IncrementalAddFailsWithNoKnownNeighbors) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddNode();  // 3 isolated
+  Graph g = b.Build();
+  auto lms = LandmarkSet::Select(g, TestLandmarkConfig(2));
+  auto emb = GraphEmbedding::Build(lms, TestEmbedConfig(3));
+  EXPECT_FALSE(emb.AddNodeIncremental(g, 3, lms));
+}
+
+TEST(EmbeddingTest, MemoryBytesLinearInNodes) {
+  Graph g = GenerateErdosRenyi(300, 900, 9);
+  auto lms = LandmarkSet::Select(g, TestLandmarkConfig(6));
+  auto emb = GraphEmbedding::Build(lms, TestEmbedConfig(10));
+  EXPECT_GE(emb.MemoryBytes(), 300u * 10u * sizeof(float));
+}
+
+TEST(EmbeddingTest, StatsPopulated) {
+  Graph g = GenerateErdosRenyi(200, 600, 10);
+  auto lms = LandmarkSet::Select(g, TestLandmarkConfig(8));
+  auto emb = GraphEmbedding::Build(lms, TestEmbedConfig(6));
+  EXPECT_GT(emb.stats().landmark_embed_seconds, 0.0);
+  EXPECT_GT(emb.stats().node_embed_seconds, 0.0);
+  EXPECT_GE(emb.stats().mean_landmark_relative_error, 0.0);
+  EXPECT_LT(emb.stats().mean_landmark_relative_error, 2.0);
+}
+
+// Property: for any dimensionality, embedding never produces NaN/Inf.
+class EmbedDimsTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EmbedDimsTest, CoordinatesFinite) {
+  Graph g = GenerateBarabasiAlbert(150, 3, 11);
+  auto lms = LandmarkSet::Select(g, TestLandmarkConfig(6));
+  auto emb = GraphEmbedding::Build(lms, TestEmbedConfig(GetParam()));
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (!emb.IsEmbedded(u)) {
+      continue;
+    }
+    for (float c : emb.Coords(u)) {
+      EXPECT_TRUE(std::isfinite(c));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, EmbedDimsTest, ::testing::Values(1, 2, 5, 10, 20));
+
+}  // namespace
+}  // namespace grouting

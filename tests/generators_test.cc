@@ -1,0 +1,210 @@
+// Tests for the synthetic graph generators, including parameterized
+// property sweeps over seeds.
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+#include "src/graph/graph_stats.h"
+#include "src/graph/traversal.h"
+#include "src/util/rng.h"
+
+namespace grouting {
+namespace {
+
+TEST(ErdosRenyiTest, SizeAndNoSelfLoops) {
+  Graph g = GenerateErdosRenyi(500, 2000, 1);
+  EXPECT_EQ(g.num_nodes(), 500u);
+  EXPECT_LE(g.num_edges(), 2000u);  // dedupe may remove a few
+  EXPECT_GE(g.num_edges(), 1800u);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_FALSE(g.HasEdge(u, u));
+  }
+}
+
+TEST(ErdosRenyiTest, DeterministicInSeed) {
+  Graph a = GenerateErdosRenyi(200, 800, 5);
+  Graph b = GenerateErdosRenyi(200, 800, 5);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId u = 0; u < a.num_nodes(); ++u) {
+    auto na = a.OutNeighbors(u);
+    auto nb = b.OutNeighbors(u);
+    ASSERT_EQ(na.size(), nb.size());
+    for (size_t i = 0; i < na.size(); ++i) {
+      EXPECT_EQ(na[i].dst, nb[i].dst);
+    }
+  }
+}
+
+TEST(BarabasiAlbertTest, PowerLawSkew) {
+  Graph g = GenerateBarabasiAlbert(5000, 4, 2);
+  DegreeStats s = ComputeDegreeStats(g);
+  // Preferential attachment: top 1% should own far more than 1% of degree.
+  EXPECT_GT(s.top1pct_degree_share, 0.05);
+  EXPECT_GT(s.max_total_degree, 50u);
+}
+
+TEST(BarabasiAlbertTest, MinimumDegree) {
+  Graph g = GenerateBarabasiAlbert(1000, 3, 3);
+  // Every non-seed node attached with up to 3 out-edges.
+  size_t with_edges = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    with_edges += g.Degree(u) > 0;
+  }
+  EXPECT_GT(with_edges, 990u);
+}
+
+TEST(RMatTest, SkewAndSize) {
+  Graph g = GenerateRMat(4096, 40000, 0.57, 0.19, 0.19, 4);
+  EXPECT_EQ(g.num_nodes(), 4096u);
+  EXPECT_GT(g.num_edges(), 20000u);
+  DegreeStats s = ComputeDegreeStats(g);
+  EXPECT_GT(s.top1pct_degree_share, 0.08);
+}
+
+TEST(RMatTest, NonPowerOfTwoNodeCount) {
+  Graph g = GenerateRMat(1000, 5000, 0.5, 0.2, 0.2, 5);
+  EXPECT_EQ(g.num_nodes(), 1000u);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const Edge& e : g.OutNeighbors(u)) {
+      EXPECT_LT(e.dst, 1000u);
+    }
+  }
+}
+
+TEST(GridTest, DegreesAndDistances) {
+  Graph g = GenerateGrid(5, 5);
+  EXPECT_EQ(g.num_nodes(), 25u);
+  EXPECT_EQ(g.num_edges(), 2u * 5u * 4u);  // right + down edges
+  // Corner (0,0) has out-degree 2; bottom-right has 0.
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.OutDegree(24), 0u);
+  // Manhattan distance in the bidirected view.
+  auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[24], 8);
+  EXPECT_EQ(dist[4], 4);
+}
+
+TEST(CommunityGraphTest, IntraCommunityDensity) {
+  Graph g = GenerateCommunityGraph(10, 50, 6, 0, 6);
+  EXPECT_EQ(g.num_nodes(), 500u);
+  // With inter_degree 0, every edge stays inside its community.
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const Edge& e : g.OutNeighbors(u)) {
+      EXPECT_EQ(u / 50, e.dst / 50u);
+    }
+  }
+}
+
+TEST(StarTest, HubDegree) {
+  Graph g = GenerateStar(100);
+  EXPECT_EQ(g.num_nodes(), 101u);
+  EXPECT_EQ(g.OutDegree(0), 100u);
+  EXPECT_EQ(g.InDegree(0), 0u);
+  EXPECT_EQ(g.Degree(0), 100u);
+  EXPECT_EQ(g.InDegree(50), 1u);
+}
+
+TEST(LabelsTest, GeneratorsAssignLabelsInRange) {
+  LabelConfig labels;
+  labels.num_node_labels = 4;
+  labels.num_edge_labels = 8;
+  Graph g = GenerateErdosRenyi(300, 900, 7, labels);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_GE(g.node_label(u), 1);
+    EXPECT_LE(g.node_label(u), 4);
+    for (const Edge& e : g.OutNeighbors(u)) {
+      EXPECT_GE(e.label, 1);
+      EXPECT_LE(e.label, 8);
+    }
+  }
+}
+
+TEST(LocalityWebTest, SizeAndStructure) {
+  LocalityWebConfig cfg;
+  cfg.grid_width = 6;
+  cfg.grid_height = 6;
+  cfg.community_size = 40;
+  Graph g = GenerateLocalityWeb(cfg, 8);
+  EXPECT_EQ(g.num_nodes(), 6u * 6u * 40u);
+  EXPECT_GT(g.num_edges(), g.num_nodes() * cfg.intra_degree / 2);
+}
+
+TEST(LocalityWebTest, HubsCreateSkew) {
+  LocalityWebConfig cfg;
+  cfg.grid_width = 8;
+  cfg.grid_height = 8;
+  cfg.community_size = 60;
+  Graph g = GenerateLocalityWeb(cfg, 9);
+  DegreeStats s = ComputeDegreeStats(g);
+  // Shared hubs should be far above the organic degree (~intra+inter+hubs).
+  EXPECT_GT(s.max_total_degree, 100u);
+}
+
+TEST(LocalityWebTest, HighHotspotOverlap) {
+  LocalityWebConfig cfg;
+  cfg.grid_width = 10;
+  cfg.grid_height = 10;
+  cfg.community_size = 80;
+  Graph g = GenerateLocalityWeb(cfg, 10);
+  Rng rng(1);
+  const double overlap = HotspotNeighborhoodOverlap(g, 2, 2, 30, rng);
+  // The property the paper's routing exploits: nearby nodes share most of
+  // their 2-hop neighbourhoods.
+  EXPECT_GT(overlap, 0.5);
+}
+
+TEST(LocalityWebTest, LargeEffectiveDiameter) {
+  LocalityWebConfig cfg;
+  cfg.grid_width = 12;
+  cfg.grid_height = 12;
+  cfg.community_size = 30;
+  Graph g = GenerateLocalityWeb(cfg, 11);
+  // Distance across the grid must reflect grid geometry (no global
+  // shortcuts): opposite corners are many hops apart.
+  auto dist = BfsDistances(g, 0);
+  int32_t max_dist = 0;
+  for (int32_t d : dist) {
+    max_dist = std::max(max_dist, d);
+  }
+  EXPECT_GT(max_dist, 4);
+}
+
+// Property sweep: every generator produces valid graphs across seeds.
+class GeneratorSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratorSeedTest, AllGeneratorsProduceValidGraphs) {
+  const uint64_t seed = GetParam();
+  LocalityWebConfig web;
+  web.grid_width = 4;
+  web.grid_height = 4;
+  web.community_size = 25;
+  const Graph graphs[] = {
+      GenerateErdosRenyi(200, 600, seed),
+      GenerateBarabasiAlbert(200, 3, seed),
+      GenerateRMat(256, 1000, 0.5, 0.2, 0.2, seed),
+      GenerateGrid(10, 10),
+      GenerateCommunityGraph(5, 40, 4, 1, seed),
+      GenerateLocalityWeb(web, seed),
+  };
+  for (const Graph& g : graphs) {
+    EXPECT_GT(g.num_nodes(), 0u);
+    uint64_t in_total = 0;
+    uint64_t out_total = 0;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      out_total += g.OutDegree(u);
+      in_total += g.InDegree(u);
+      for (const Edge& e : g.OutNeighbors(u)) {
+        ASSERT_LT(e.dst, g.num_nodes());
+      }
+    }
+    // Every out-edge appears exactly once as an in-edge.
+    EXPECT_EQ(in_total, out_total);
+    EXPECT_EQ(out_total, g.num_edges());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeedTest,
+                         ::testing::Values(1, 2, 3, 42, 12345));
+
+}  // namespace
+}  // namespace grouting

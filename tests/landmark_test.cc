@@ -1,0 +1,269 @@
+// Tests for landmark selection, distance tables, pivot assignment, the
+// d(u,p) router index, and the incremental update paths.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/graph/generators.h"
+#include "src/graph/traversal.h"
+#include "src/landmark/landmark.h"
+#include "src/landmark/landmark_index.h"
+#include "src/util/rng.h"
+
+namespace grouting {
+namespace {
+
+LandmarkConfig SmallConfig(size_t count, int32_t sep = 2) {
+  LandmarkConfig cfg;
+  cfg.num_landmarks = count;
+  cfg.min_separation = sep;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(LandmarkSetTest, SelectsRequestedCount) {
+  Graph g = GenerateErdosRenyi(500, 2500, 1);
+  auto lms = LandmarkSet::Select(g, SmallConfig(16));
+  EXPECT_EQ(lms.count(), 16u);
+  std::set<NodeId> distinct(lms.landmark_nodes().begin(), lms.landmark_nodes().end());
+  EXPECT_EQ(distinct.size(), 16u);
+}
+
+TEST(LandmarkSetTest, DistancesMatchBfs) {
+  Graph g = GenerateBarabasiAlbert(300, 3, 2);
+  auto lms = LandmarkSet::Select(g, SmallConfig(8));
+  for (size_t l = 0; l < lms.count(); ++l) {
+    auto ref = BfsDistances(g, lms.landmark_node(l));
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      const uint16_t d = lms.Distance(l, u);
+      if (ref[u] == kUnreachable) {
+        EXPECT_EQ(d, kUnreachableU16);
+      } else {
+        EXPECT_EQ(d, static_cast<uint16_t>(ref[u]));
+      }
+    }
+  }
+}
+
+TEST(LandmarkSetTest, PrefersHighDegreeNodes) {
+  Graph g = GenerateStar(200);  // node 0 is the only hub
+  auto lms = LandmarkSet::Select(g, SmallConfig(1));
+  ASSERT_EQ(lms.count(), 1u);
+  EXPECT_EQ(lms.landmark_node(0), 0u);
+}
+
+TEST(LandmarkSetTest, SeparationEnforcedWhenPossible) {
+  // Two far-apart communities: landmarks at separation >= 3 must not both
+  // come from the same dense community when alternatives exist.
+  Graph g = GenerateGrid(30, 30);
+  auto lms = LandmarkSet::Select(g, SmallConfig(4, 5));
+  for (size_t a = 0; a < lms.count(); ++a) {
+    for (size_t b = a + 1; b < lms.count(); ++b) {
+      if (lms.stats().separation_relaxed == 0) {
+        EXPECT_GE(lms.LandmarkDistance(a, b), 5);
+      }
+    }
+  }
+}
+
+TEST(LandmarkSetTest, LandmarkDistanceSymmetricStructure) {
+  Graph g = GenerateErdosRenyi(200, 1000, 3);
+  auto lms = LandmarkSet::Select(g, SmallConfig(6));
+  for (size_t a = 0; a < lms.count(); ++a) {
+    EXPECT_EQ(lms.LandmarkDistance(a, a), 0);
+    for (size_t b = 0; b < lms.count(); ++b) {
+      // Bidirected BFS => symmetric distances.
+      EXPECT_EQ(lms.LandmarkDistance(a, b), lms.LandmarkDistance(b, a));
+    }
+  }
+}
+
+TEST(LandmarkSetTest, EstimateDistancesUpperBoundsTruth) {
+  Graph g = GenerateErdosRenyi(300, 1500, 4);
+  auto lms = LandmarkSet::Select(g, SmallConfig(8));
+  Rng rng(6);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto u = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    const auto est = lms.EstimateDistances(g, u);
+    for (size_t l = 0; l < lms.count(); ++l) {
+      if (est[l] == kUnreachableU16) {
+        continue;
+      }
+      // Estimate = 1 + min neighbour distance >= true distance; and at most
+      // true distance + 2 (one neighbour lies on a shortest path).
+      EXPECT_GE(est[l] + 1u, lms.Distance(l, u));
+      EXPECT_LE(est[l], lms.Distance(l, u) + 2u);
+    }
+  }
+}
+
+TEST(LandmarkSetTest, RestrictedSelectionStaysInAllowedSet) {
+  Graph g = GenerateErdosRenyi(400, 2000, 7);
+  std::vector<uint8_t> allowed(g.num_nodes(), 0);
+  for (NodeId u = 0; u < 200; ++u) {
+    allowed[u] = 1;
+  }
+  auto lms = LandmarkSet::Select(g, SmallConfig(8), &allowed);
+  for (NodeId l : lms.landmark_nodes()) {
+    EXPECT_LT(l, 200u);
+  }
+  EXPECT_FALSE(lms.IsKnown(300));
+  EXPECT_TRUE(lms.IsKnown(100));
+}
+
+TEST(LandmarkSetTest, MemoryBytesScalesWithLandmarks) {
+  Graph g = GenerateErdosRenyi(200, 800, 8);
+  auto small = LandmarkSet::Select(g, SmallConfig(4));
+  auto large = LandmarkSet::Select(g, SmallConfig(16));
+  EXPECT_GT(large.MemoryBytes(), small.MemoryBytes());
+}
+
+// --------------------------------------------------------------- Index --
+
+TEST(LandmarkIndexTest, DistanceIsMinOverAssignedLandmarks) {
+  Graph g = GenerateErdosRenyi(300, 1200, 9);
+  auto lms = LandmarkSet::Select(g, SmallConfig(12));
+  auto index = LandmarkIndex::Build(lms, 3);
+  ASSERT_EQ(index.landmark_processor().size(), 12u);
+  for (NodeId u = 0; u < g.num_nodes(); u += 17) {
+    for (uint32_t p = 0; p < 3; ++p) {
+      uint16_t expected = kUnreachableU16;
+      for (size_t l = 0; l < lms.count(); ++l) {
+        if (index.landmark_processor()[l] == p) {
+          expected = std::min(expected, lms.Distance(l, u));
+        }
+      }
+      EXPECT_EQ(index.Distance(u, p), expected);
+    }
+  }
+}
+
+TEST(LandmarkIndexTest, EveryProcessorGetsLandmarks) {
+  Graph g = GenerateGrid(25, 25);
+  auto lms = LandmarkSet::Select(g, SmallConfig(12, 3));
+  auto index = LandmarkIndex::Build(lms, 4);
+  std::set<uint32_t> used(index.landmark_processor().begin(),
+                          index.landmark_processor().end());
+  EXPECT_EQ(used.size(), 4u);
+}
+
+TEST(LandmarkIndexTest, PivotsAreFarApart) {
+  Graph g = GenerateGrid(20, 20);
+  auto lms = LandmarkSet::Select(g, SmallConfig(10, 3));
+  auto index = LandmarkIndex::Build(lms, 2);
+  ASSERT_EQ(index.pivots().size(), 2u);
+  // The two pivots are the farthest landmark pair.
+  uint16_t best = 0;
+  for (size_t a = 0; a < lms.count(); ++a) {
+    for (size_t b = a + 1; b < lms.count(); ++b) {
+      const uint16_t d = lms.LandmarkDistance(a, b);
+      if (d != kUnreachableU16) {
+        best = std::max(best, d);
+      }
+    }
+  }
+  EXPECT_EQ(lms.LandmarkDistance(index.pivots()[0], index.pivots()[1]), best);
+}
+
+TEST(LandmarkIndexTest, NearestProcessorAgreesWithDistances) {
+  Graph g = GenerateErdosRenyi(200, 1000, 10);
+  auto index = LandmarkIndex::Build(LandmarkSet::Select(g, SmallConfig(8)), 4);
+  for (NodeId u = 0; u < g.num_nodes(); u += 13) {
+    const uint32_t p = index.NearestProcessor(u);
+    for (uint32_t other = 0; other < 4; ++other) {
+      EXPECT_LE(index.Distance(u, p), index.Distance(u, other));
+    }
+  }
+}
+
+TEST(LandmarkIndexTest, MoreProcessorsThanLandmarks) {
+  Graph g = GenerateErdosRenyi(100, 400, 11);
+  auto index = LandmarkIndex::Build(LandmarkSet::Select(g, SmallConfig(3)), 8);
+  EXPECT_EQ(index.num_processors(), 8u);
+  // Routing must still work: nearest processor is valid.
+  EXPECT_LT(index.NearestProcessor(0), 8u);
+}
+
+TEST(LandmarkIndexTest, RouterStorageIsLinearInNodes) {
+  Graph g = GenerateErdosRenyi(500, 1500, 12);
+  auto index = LandmarkIndex::Build(LandmarkSet::Select(g, SmallConfig(8)), 4);
+  EXPECT_EQ(index.RouterStorageBytes(), 500u * 4u * sizeof(uint16_t));
+  EXPECT_GT(index.PreprocessStorageBytes(), 0u);
+}
+
+TEST(LandmarkIndexTest, IncrementalNodeAddFillsRow) {
+  Graph g = GenerateErdosRenyi(300, 1500, 13);
+  std::vector<uint8_t> allowed(g.num_nodes(), 1);
+  // Hide the last 50 nodes from preprocessing.
+  for (NodeId u = 250; u < 300; ++u) {
+    allowed[u] = 0;
+  }
+  auto lms = LandmarkSet::Select(g, SmallConfig(8), &allowed);
+  auto index = LandmarkIndex::Build(std::move(lms), 3);
+  // Before: unknown rows are unreachable.
+  bool some_unreachable = false;
+  for (uint32_t p = 0; p < 3; ++p) {
+    some_unreachable |= index.Distance(299, p) == kUnreachableU16;
+  }
+  EXPECT_TRUE(some_unreachable);
+  // Incrementally add; with 1500 edges node 299 almost surely has a known
+  // neighbour.
+  const bool added = index.AddNodeIncremental(g, 299);
+  if (added) {
+    uint16_t best = kUnreachableU16;
+    for (uint32_t p = 0; p < 3; ++p) {
+      best = std::min(best, index.Distance(299, p));
+    }
+    EXPECT_NE(best, kUnreachableU16);
+  }
+}
+
+TEST(LandmarkIndexTest, RefreshAroundEdgeImprovesEstimates) {
+  // Path graph: adding a shortcut edge shortens distances near it.
+  GraphBuilder b;
+  for (NodeId u = 0; u + 1 < 30; ++u) {
+    b.AddEdge(u, u + 1);
+  }
+  Graph before = b.Build();
+  LandmarkConfig cfg = SmallConfig(1, 1);
+  auto lms = LandmarkSet::Select(before, cfg);
+  auto index = LandmarkIndex::Build(std::move(lms), 1);
+  const uint16_t old_d29 = index.Distance(29, 0);
+
+  // Rebuild the graph with a shortcut from the landmark side to the tail.
+  GraphBuilder b2;
+  for (NodeId u = 0; u + 1 < 30; ++u) {
+    b2.AddEdge(u, u + 1);
+  }
+  b2.AddEdge(0, 28);
+  Graph after = b2.Build();
+  index.RefreshAroundEdge(after, 0, 28, 2);
+  EXPECT_LE(index.Distance(29, 0), old_d29);
+  EXPECT_LE(index.Distance(28, 0), 2);
+}
+
+// Property: d(u,p) respects the landmark triangle bound — routing distances
+// are real graph distances, so d(u,p) can never be less than
+// dist(u, nearest landmark of p).
+class LandmarkIndexSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(LandmarkIndexSweep, IndexConsistentForProcessorCount) {
+  const uint32_t procs = GetParam();
+  Graph g = GenerateCommunityGraph(8, 40, 4, 1, 20);
+  auto index = LandmarkIndex::Build(LandmarkSet::Select(g, SmallConfig(10)), procs);
+  EXPECT_EQ(index.num_processors(), procs);
+  for (NodeId u = 0; u < g.num_nodes(); u += 29) {
+    uint32_t reachable = 0;
+    for (uint32_t p = 0; p < procs; ++p) {
+      reachable += index.Distance(u, p) != kUnreachableU16;
+    }
+    EXPECT_GT(reachable, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, LandmarkIndexSweep, ::testing::Values(1, 2, 3, 5, 7));
+
+}  // namespace
+}  // namespace grouting

@@ -1,0 +1,276 @@
+// Tests for routing strategies and the router: decision correctness, load
+// balancing, EMA tracking, and query-stealing semantics.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/graph/generators.h"
+#include "src/routing/router.h"
+#include "src/routing/strategy.h"
+
+namespace grouting {
+namespace {
+
+RouterContext Ctx(const std::vector<uint32_t>& lengths) {
+  RouterContext ctx;
+  ctx.num_processors = static_cast<uint32_t>(lengths.size());
+  ctx.queue_lengths = lengths;
+  return ctx;
+}
+
+Query Q(NodeId node, uint64_t id = 0) {
+  Query q;
+  q.node = node;
+  q.id = id;
+  return q;
+}
+
+TEST(NextReadyTest, PicksLeastLoaded) {
+  NextReadyStrategy s;
+  std::vector<uint32_t> lengths{5, 2, 7};
+  EXPECT_EQ(s.Route(0, Ctx(lengths)), 1u);
+}
+
+TEST(NextReadyTest, RoundRobinOnTies) {
+  NextReadyStrategy s;
+  std::vector<uint32_t> lengths{0, 0, 0};
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 3; ++i) {
+    seen.insert(s.Route(0, Ctx(lengths)));
+  }
+  EXPECT_EQ(seen.size(), 3u);  // rotor spreads ties
+}
+
+TEST(HashTest, DeterministicAndIgnoresLoad) {
+  HashStrategy s;
+  std::vector<uint32_t> a{0, 100};
+  std::vector<uint32_t> b{100, 0};
+  EXPECT_EQ(s.Route(42, Ctx(a)), s.Route(42, Ctx(b)));
+}
+
+TEST(HashTest, SpreadsNodes) {
+  HashStrategy s;
+  std::vector<uint32_t> lengths(7, 0);
+  std::vector<int> counts(7, 0);
+  for (NodeId u = 0; u < 7000; ++u) {
+    counts[s.Route(u, Ctx(lengths))] += 1;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 700);
+  }
+}
+
+class SmartRoutingFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = GenerateGrid(20, 20);
+    LandmarkConfig lc;
+    lc.num_landmarks = 8;
+    lc.min_separation = 3;
+    lc.seed = 1;
+    landmarks_ = std::make_unique<LandmarkSet>(LandmarkSet::Select(graph_, lc));
+    index_ = std::make_unique<LandmarkIndex>(LandmarkIndex::Build(*landmarks_, 4));
+    EmbedConfig ec;
+    ec.dimensions = 4;
+    ec.seed = 2;
+    ec.num_threads = 1;
+    embedding_ =
+        std::make_unique<GraphEmbedding>(GraphEmbedding::Build(*landmarks_, ec));
+  }
+
+  Graph graph_;
+  std::unique_ptr<LandmarkSet> landmarks_;
+  std::unique_ptr<LandmarkIndex> index_;
+  std::unique_ptr<GraphEmbedding> embedding_;
+};
+
+TEST_F(SmartRoutingFixture, LandmarkRoutesToNearestWhenIdle) {
+  LandmarkStrategy s(index_.get(), 20.0);
+  std::vector<uint32_t> lengths(4, 0);
+  for (NodeId u = 0; u < graph_.num_nodes(); u += 37) {
+    EXPECT_EQ(s.Route(u, Ctx(lengths)), index_->NearestProcessor(u));
+  }
+}
+
+TEST_F(SmartRoutingFixture, LandmarkLoadTermOverridesDistance) {
+  LandmarkStrategy s(index_.get(), 1.0);  // tiny load factor: load dominates
+  const NodeId u = 0;
+  const uint32_t nearest = index_->NearestProcessor(u);
+  std::vector<uint32_t> lengths(4, 0);
+  lengths[nearest] = 1000;  // overload the preferred processor
+  EXPECT_NE(s.Route(u, Ctx(lengths)), nearest);
+}
+
+TEST_F(SmartRoutingFixture, LandmarkTopologyAwareLocality) {
+  // Adjacent grid nodes should usually route to the same processor.
+  LandmarkStrategy s(index_.get(), 1e9);
+  std::vector<uint32_t> lengths(4, 0);
+  int agree = 0;
+  int total = 0;
+  for (NodeId u = 0; u + 1 < graph_.num_nodes(); u += 11) {
+    if (u % 20 == 19) {
+      continue;  // row boundary
+    }
+    agree += s.Route(u, Ctx(lengths)) == s.Route(u + 1, Ctx(lengths));
+    ++total;
+  }
+  EXPECT_GT(agree * 100, total * 70);
+}
+
+TEST_F(SmartRoutingFixture, EmbedConsecutiveNearbyQueriesStick) {
+  EmbedStrategy s(embedding_.get(), 0.5, 20.0, 4);
+  std::vector<uint32_t> lengths(4, 0);
+  // A run of queries in one grid corner must converge onto one processor.
+  const uint32_t first = s.Route(0, Ctx(lengths));
+  int same = 0;
+  for (NodeId u : {1u, 20u, 21u, 2u, 40u}) {
+    same += s.Route(u, Ctx(lengths)) == first;
+  }
+  EXPECT_GE(same, 4);
+}
+
+TEST_F(SmartRoutingFixture, EmbedMeanMovesTowardDispatchedQueries) {
+  EmbedStrategy s(embedding_.get(), 0.5, 20.0, 4);
+  std::vector<uint32_t> lengths(4, 0);
+  const NodeId corner = 399;  // far grid corner
+  const uint32_t p = s.Route(corner, Ctx(lengths));
+  std::vector<double> mean_before(s.MeanCoordinates(p).begin(),
+                                  s.MeanCoordinates(p).end());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(s.Route(corner, Ctx(lengths)), p);
+  }
+  const double d_before = embedding_->DistanceToPoint(corner, mean_before);
+  const double d_after = embedding_->DistanceToPoint(
+      corner, std::vector<double>(s.MeanCoordinates(p).begin(),
+                                  s.MeanCoordinates(p).end()));
+  EXPECT_LT(d_after, d_before + 1e-9);
+}
+
+TEST_F(SmartRoutingFixture, EmbedFallsBackForUnembeddedNode) {
+  EmbedStrategy s(embedding_.get(), 0.5, 20.0, 4);
+  std::vector<uint32_t> lengths{3, 0, 3, 3};
+  // Node id beyond the embedding: next-ready fallback picks least loaded.
+  EXPECT_EQ(s.Route(9999999, Ctx(lengths)), 1u);
+}
+
+TEST_F(SmartRoutingFixture, DecisionCostGrowsWithDimensions) {
+  const CostModel cm;
+  EmbedStrategy s(embedding_.get(), 0.5, 20.0, 4);
+  LandmarkStrategy l(index_.get(), 20.0);
+  EXPECT_GE(s.DecisionCostUs(cm, 4), l.DecisionCostUs(cm, 4));
+}
+
+// --------------------------------------------------------------- Router --
+
+TEST(RouterTest, EnqueueRoutesToStrategyChoice) {
+  Router router(std::make_unique<HashStrategy>(), 4);
+  HashStrategy reference;
+  std::vector<uint32_t> zeros(4, 0);
+  for (NodeId u = 0; u < 50; ++u) {
+    EXPECT_EQ(router.Enqueue(Q(u, u)), reference.Route(u, Ctx(zeros)));
+  }
+  EXPECT_EQ(router.pending(), 50u);
+}
+
+TEST(RouterTest, NextForProcessorDrainsOwnQueueFifo) {
+  Router router(std::make_unique<HashStrategy>(), 2);
+  // Find two nodes hashing to processor 0.
+  HashStrategy reference;
+  std::vector<uint32_t> zeros(2, 0);
+  std::vector<NodeId> nodes;
+  for (NodeId u = 0; nodes.size() < 3; ++u) {
+    if (reference.Route(u, Ctx(zeros)) == 0) {
+      nodes.push_back(u);
+    }
+  }
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    router.Enqueue(Q(nodes[i], i));
+  }
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    auto q = router.NextForProcessor(0);
+    ASSERT_TRUE(q.has_value());
+    EXPECT_EQ(q->id, i);  // FIFO
+  }
+  EXPECT_FALSE(router.NextForProcessor(0).has_value());
+}
+
+TEST(RouterTest, StealingFromLongestQueue) {
+  // Strategy pinning everything to processor 0.
+  class PinStrategy : public RoutingStrategy {
+   public:
+    std::string name() const override { return "pin"; }
+    uint32_t Route(NodeId, const RouterContext&) override { return 0; }
+  };
+  Router router(std::make_unique<PinStrategy>(), 3);
+  for (uint64_t i = 0; i < 6; ++i) {
+    router.Enqueue(Q(1, i));
+  }
+  // Processor 2 has nothing; it must steal from processor 0.
+  auto stolen = router.NextForProcessor(2);
+  ASSERT_TRUE(stolen.has_value());
+  EXPECT_EQ(router.stats().steals, 1u);
+  // The oldest query is stolen (head-of-line fairness).
+  EXPECT_EQ(stolen->id, 0u);
+  EXPECT_EQ(router.pending(), 5u);
+}
+
+TEST(RouterTest, StealingDisabled) {
+  class PinStrategy : public RoutingStrategy {
+   public:
+    std::string name() const override { return "pin"; }
+    uint32_t Route(NodeId, const RouterContext&) override { return 0; }
+  };
+  RouterConfig cfg;
+  cfg.enable_stealing = false;
+  Router router(std::make_unique<PinStrategy>(), 2, cfg);
+  router.Enqueue(Q(1, 0));
+  EXPECT_FALSE(router.NextForProcessor(1).has_value());
+  EXPECT_TRUE(router.NextForProcessor(0).has_value());
+}
+
+TEST(RouterTest, QueueLengthsTrackEnqueues) {
+  Router router(std::make_unique<NextReadyStrategy>(), 3);
+  router.Enqueue(Q(0, 0));
+  router.Enqueue(Q(1, 1));
+  router.Enqueue(Q(2, 2));
+  auto lengths = router.QueueLengths();
+  uint32_t total = 0;
+  for (uint32_t l : lengths) {
+    total += l;
+  }
+  EXPECT_EQ(total, 3u);
+  // NextReady balances: no queue longer than 1.
+  for (uint32_t l : lengths) {
+    EXPECT_LE(l, 1u);
+  }
+}
+
+TEST(RouterTest, DispatchCountsPerProcessor) {
+  Router router(std::make_unique<NextReadyStrategy>(), 2);
+  for (uint64_t i = 0; i < 10; ++i) {
+    router.Enqueue(Q(static_cast<NodeId>(i), i));
+  }
+  size_t dispatched = 0;
+  while (router.HasPending()) {
+    for (uint32_t p = 0; p < 2; ++p) {
+      if (router.NextForProcessor(p).has_value()) {
+        ++dispatched;
+      }
+    }
+  }
+  EXPECT_EQ(dispatched, 10u);
+  EXPECT_EQ(router.stats().dispatched, 10u);
+  EXPECT_EQ(router.stats().per_processor[0] + router.stats().per_processor[1], 10u);
+}
+
+TEST(SchemeNamesTest, AllNamed) {
+  EXPECT_EQ(RoutingSchemeKindName(RoutingSchemeKind::kNextReady), "next_ready");
+  EXPECT_EQ(RoutingSchemeKindName(RoutingSchemeKind::kHash), "hash");
+  EXPECT_EQ(RoutingSchemeKindName(RoutingSchemeKind::kLandmark), "landmark");
+  EXPECT_EQ(RoutingSchemeKindName(RoutingSchemeKind::kEmbed), "embed");
+  EXPECT_EQ(RoutingSchemeKindName(RoutingSchemeKind::kNoCache), "no_cache");
+}
+
+}  // namespace
+}  // namespace grouting

@@ -1,0 +1,156 @@
+// Tests for BFS utilities: distances, depth limits, node filters, k-hop
+// neighbourhoods, pairwise distances — including the landmark triangle
+// inequality property the smart routing schemes rely on.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "src/graph/generators.h"
+#include "src/graph/traversal.h"
+#include "src/util/rng.h"
+
+namespace grouting {
+namespace {
+
+Graph Path(size_t n) {
+  GraphBuilder b;
+  for (NodeId u = 0; u + 1 < n; ++u) {
+    b.AddEdge(u, u + 1);
+  }
+  return b.Build();
+}
+
+TEST(BfsTest, PathDistances) {
+  Graph g = Path(6);
+  auto dist = BfsDistances(g, 0);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(dist[i], i);
+  }
+}
+
+TEST(BfsTest, DirectedVsBidirected) {
+  Graph g = Path(4);
+  BfsOptions directed;
+  directed.bidirected = false;
+  // From the tail, directed BFS reaches nothing; bidirected walks back.
+  auto d1 = BfsDistances(g, 3, directed);
+  EXPECT_EQ(d1[0], kUnreachable);
+  auto d2 = BfsDistances(g, 3);
+  EXPECT_EQ(d2[0], 3);
+}
+
+TEST(BfsTest, MaxDepthCutsOff) {
+  Graph g = Path(10);
+  BfsOptions opts;
+  opts.max_depth = 3;
+  auto dist = BfsDistances(g, 0, opts);
+  EXPECT_EQ(dist[3], 3);
+  EXPECT_EQ(dist[4], kUnreachable);
+}
+
+TEST(BfsTest, AllowedFilterRestrictsTraversal) {
+  Graph g = Path(5);
+  std::vector<uint8_t> allowed{1, 1, 0, 1, 1};  // node 2 blocked
+  BfsOptions opts;
+  opts.allowed = &allowed;
+  auto dist = BfsDistances(g, 0, opts);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[3], kUnreachable);  // unreachable through the hole
+}
+
+TEST(BfsTest, DisconnectedComponentsUnreachable) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 3);
+  Graph g = b.Build();
+  auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(KHopTest, ExcludesSourceAndDeduplicates) {
+  Graph g = Path(5);
+  auto hood = KHopNeighborhood(g, 2, 2);
+  // Nodes within 2 hops of node 2: {0, 1, 3, 4}.
+  EXPECT_EQ(hood.size(), 4u);
+  for (NodeId v : hood) {
+    EXPECT_NE(v, 2u);
+  }
+}
+
+TEST(KHopTest, ZeroHopsIsEmpty) {
+  Graph g = Path(5);
+  EXPECT_TRUE(KHopNeighborhood(g, 0, 0).empty());
+}
+
+TEST(KHopTest, MatchesBfsDistances) {
+  Graph g = GenerateErdosRenyi(300, 1500, 3);
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto src = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    const int32_t h = 1 + static_cast<int32_t>(rng.NextBounded(3));
+    auto hood = KHopNeighborhood(g, src, h);
+    auto dist = BfsDistances(g, src);
+    size_t expected = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (v != src && dist[v] != kUnreachable && dist[v] <= h) {
+        ++expected;
+      }
+    }
+    EXPECT_EQ(hood.size(), expected);
+    for (NodeId v : hood) {
+      EXPECT_LE(dist[v], h);
+    }
+  }
+}
+
+TEST(HopDistanceTest, KnownValues) {
+  Graph g = Path(8);
+  EXPECT_EQ(HopDistance(g, 0, 0, 10), 0);
+  EXPECT_EQ(HopDistance(g, 0, 5, 10), 5);
+  EXPECT_EQ(HopDistance(g, 5, 0, 10), 5);  // bidirected
+  EXPECT_EQ(HopDistance(g, 0, 7, 3), kUnreachable);  // beyond max depth
+}
+
+TEST(HopDistanceTest, AgreesWithBfs) {
+  Graph g = GenerateBarabasiAlbert(400, 3, 9);
+  Rng rng(10);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto u = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    const auto v = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    auto dist = BfsDistances(g, u);
+    const int32_t expected = dist[v] == kUnreachable ? kUnreachable : dist[v];
+    EXPECT_EQ(HopDistance(g, u, v, 1 << 20), expected);
+  }
+}
+
+// Property: landmark distance bounds (paper Eq. 2) hold on random graphs —
+// |d(u,l) - d(l,v)| <= d(u,v) <= d(u,l) + d(l,v).
+class TriangleBoundTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TriangleBoundTest, LandmarkBoundsHold) {
+  Graph g = GenerateErdosRenyi(250, 1000, GetParam());
+  Rng rng(GetParam() ^ 0xfeed);
+  const auto landmark = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+  auto dl = BfsDistances(g, landmark);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto u = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    const auto v = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    if (dl[u] == kUnreachable || dl[v] == kUnreachable) {
+      continue;
+    }
+    const int32_t duv = HopDistance(g, u, v, 1 << 20);
+    if (duv == kUnreachable) {
+      continue;
+    }
+    EXPECT_LE(duv, dl[u] + dl[v]);
+    EXPECT_GE(duv, std::abs(dl[u] - dl[v]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TriangleBoundTest, ::testing::Values(1, 7, 21, 77));
+
+}  // namespace
+}  // namespace grouting

@@ -1,0 +1,370 @@
+// Unit tests for src/util: RNG, MurmurHash3, statistics, table formatting,
+// byte-size parsing, and the MPMC queue.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/mpmc_queue.h"
+#include "src/util/murmur3.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace grouting {
+namespace {
+
+// ---------------------------------------------------------------- Rng ----
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += a.Next() == b.Next();
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rng.NextBounded(1), 0u);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoolRespectsProbabilityRoughly) {
+  Rng rng(17);
+  int trues = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    trues += rng.NextBool(0.25);
+  }
+  EXPECT_NEAR(static_cast<double>(trues) / n, 0.25, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(19);
+  RunningStat stat;
+  for (int i = 0; i < 50000; ++i) {
+    stat.Add(rng.NextGaussian());
+  }
+  EXPECT_NEAR(stat.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stat.stddev(), 1.0, 0.03);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  Rng rng(23);
+  Shuffle(v, rng);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(sorted[i], i);
+  }
+}
+
+TEST(RngTest, ShuffleDeterministic) {
+  std::vector<int> a(50);
+  std::vector<int> b(50);
+  std::iota(a.begin(), a.end(), 0);
+  std::iota(b.begin(), b.end(), 0);
+  Rng r1(5);
+  Rng r2(5);
+  Shuffle(a, r1);
+  Shuffle(b, r2);
+  EXPECT_EQ(a, b);
+}
+
+// ------------------------------------------------------------ Murmur3 ----
+
+TEST(Murmur3Test, KnownVectors32) {
+  // Reference values from Appleby's SMHasher verification.
+  EXPECT_EQ(Murmur3_x86_32("", 0, 0), 0u);
+  EXPECT_EQ(Murmur3_x86_32("", 0, 1), 0x514E28B7u);
+  EXPECT_EQ(Murmur3_x86_32("\xff\xff\xff\xff", 4, 0), 0x76293B50u);
+  EXPECT_EQ(Murmur3_x86_32("!Ce\x87", 4, 0), 0xF55B516Bu);
+  EXPECT_EQ(Murmur3_x86_32("Hello, world!", 13, 0x9747b28cu), 0x24884CBAu);
+}
+
+TEST(Murmur3Test, SeedChangesOutput) {
+  const uint64_t key = 12345;
+  EXPECT_NE(Murmur3Hash64(key, 1), Murmur3Hash64(key, 2));
+}
+
+TEST(Murmur3Test, X64_128Deterministic) {
+  uint64_t a[2];
+  uint64_t b[2];
+  const char* data = "the quick brown fox jumps over the lazy dog";
+  Murmur3_x64_128(data, 43, 7, a);
+  Murmur3_x64_128(data, 43, 7, b);
+  EXPECT_EQ(a[0], b[0]);
+  EXPECT_EQ(a[1], b[1]);
+}
+
+TEST(Murmur3Test, X64_128TailLengthsAllWork) {
+  // Exercise every tail-switch branch (lengths 0..16).
+  uint8_t buf[17];
+  for (int i = 0; i < 17; ++i) {
+    buf[i] = static_cast<uint8_t>(i * 37);
+  }
+  std::set<std::pair<uint64_t, uint64_t>> seen;
+  for (size_t len = 0; len <= 16; ++len) {
+    uint64_t out[2];
+    Murmur3_x64_128(buf, len, 0, out);
+    seen.insert({out[0], out[1]});
+  }
+  EXPECT_EQ(seen.size(), 17u);  // all distinct
+}
+
+TEST(Murmur3Test, Distribution) {
+  // Hashing sequential node ids should spread evenly over buckets.
+  constexpr int kBuckets = 8;
+  int counts[kBuckets] = {0};
+  for (uint64_t u = 0; u < 8000; ++u) {
+    counts[Murmur3Hash64(u) % kBuckets] += 1;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 800);
+    EXPECT_LT(c, 1200);
+  }
+}
+
+// -------------------------------------------------------------- Stats ----
+
+TEST(RunningStatTest, Empty) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, BasicMoments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStatTest, MergeMatchesSequential) {
+  RunningStat a;
+  RunningStat b;
+  RunningStat all;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble() * 10;
+    ((i % 2 == 0) ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatTest, MergeWithEmpty) {
+  RunningStat a;
+  a.Add(1.0);
+  RunningStat empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(HistogramTest, QuantilesRoughlyCorrect) {
+  Histogram h;
+  for (uint64_t i = 1; i <= 1024; ++i) {
+    h.Add(i);
+  }
+  EXPECT_EQ(h.count(), 1024);
+  // Median of 1..1024 is ~512; log-bucketed estimate within its bucket.
+  const double q50 = h.Quantile(0.5);
+  EXPECT_GE(q50, 256.0);
+  EXPECT_LE(q50, 1024.0);
+  EXPECT_LE(h.Quantile(0.01), h.Quantile(0.99));
+}
+
+TEST(HistogramTest, ZeroValuesLandInFirstBucket) {
+  Histogram h;
+  h.Add(0);
+  h.Add(0);
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_LE(h.Quantile(0.5), 1.0);
+}
+
+TEST(PercentileTest, ExactValues) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 10.0);
+  EXPECT_NEAR(Percentile(v, 50), 5.5, 1e-9);
+}
+
+TEST(PercentileTest, EmptyIsZero) { EXPECT_EQ(Percentile({}, 50), 0.0); }
+
+// -------------------------------------------------------------- Table ----
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer-name", "22"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableTest, NumTrimsTrailingZeros) {
+  EXPECT_EQ(Table::Num(1.5), "1.5");
+  EXPECT_EQ(Table::Num(2.0), "2");
+  EXPECT_EQ(Table::Num(0.25, 3), "0.25");
+  EXPECT_EQ(Table::Int(-42), "-42");
+}
+
+TEST(TableTest, BytesHumanReadable) {
+  EXPECT_EQ(Table::Bytes(512), "512.0 B");
+  EXPECT_EQ(Table::Bytes(2048), "2.0 KB");
+  EXPECT_EQ(Table::Bytes(3ULL << 30), "3.0 GB");
+}
+
+TEST(ParseByteSizeTest, Units) {
+  EXPECT_EQ(ParseByteSize("512"), 512u);
+  EXPECT_EQ(ParseByteSize("16MB"), 16ULL << 20);
+  EXPECT_EQ(ParseByteSize("4GB"), 4ULL << 30);
+  EXPECT_EQ(ParseByteSize("2kb"), 2048u);
+  EXPECT_EQ(ParseByteSize("1TB"), 1ULL << 40);
+}
+
+TEST(ParseByteSizeTest, Malformed) {
+  EXPECT_EQ(ParseByteSize(""), 0u);
+  EXPECT_EQ(ParseByteSize("abc"), 0u);
+  EXPECT_EQ(ParseByteSize("12XB"), 0u);
+}
+
+// ---------------------------------------------------------- MpmcQueue ----
+
+TEST(MpmcQueueTest, FifoOrder) {
+  MpmcQueue<int> q;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(q.Push(i));
+  }
+  for (int i = 0; i < 10; ++i) {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(MpmcQueueTest, TryPopOnEmpty) {
+  MpmcQueue<int> q;
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(MpmcQueueTest, CloseDrainsRemainingItems) {
+  MpmcQueue<int> q;
+  q.Push(1);
+  q.Push(2);
+  q.Close();
+  EXPECT_FALSE(q.Push(3));  // rejected after close
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_FALSE(q.Pop().has_value());  // closed and empty
+}
+
+TEST(MpmcQueueTest, ConcurrentProducersConsumers) {
+  MpmcQueue<int> q;
+  constexpr int kPerProducer = 2000;
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  std::atomic<int64_t> sum{0};
+  std::atomic<int> consumed{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        q.Push(p * kPerProducer + i);
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (true) {
+        auto v = q.Pop();
+        if (!v.has_value()) {
+          return;
+        }
+        sum.fetch_add(*v);
+        consumed.fetch_add(1);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    threads[p].join();
+  }
+  q.Close();
+  for (size_t i = kProducers; i < threads.size(); ++i) {
+    threads[i].join();
+  }
+  const int total = kProducers * kPerProducer;
+  EXPECT_EQ(consumed.load(), total);
+  EXPECT_EQ(sum.load(), static_cast<int64_t>(total) * (total - 1) / 2);
+}
+
+}  // namespace
+}  // namespace grouting

@@ -1,0 +1,193 @@
+// Tests for the hotspot workload generator and the dataset catalog.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/graph/generators.h"
+#include "src/graph/graph_stats.h"
+#include "src/graph/traversal.h"
+#include "src/workload/datasets.h"
+#include "src/workload/workload.h"
+
+namespace grouting {
+namespace {
+
+TEST(WorkloadTest, GeneratesRequestedCount) {
+  Graph g = GenerateErdosRenyi(500, 2500, 1);
+  WorkloadConfig cfg;
+  cfg.num_hotspots = 10;
+  cfg.queries_per_hotspot = 7;
+  auto queries = GenerateHotspotWorkload(g, cfg);
+  EXPECT_EQ(queries.size(), 70u);
+  // Ids are sequential (used for tracing).
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(queries[i].id, i);
+  }
+}
+
+TEST(WorkloadTest, HotspotQueriesAreNearby) {
+  // Paper: pairwise distance between any two query nodes of a hotspot is at
+  // most 2r (both within r hops of the same center).
+  Graph g = GenerateGrid(25, 25);
+  WorkloadConfig cfg;
+  cfg.num_hotspots = 8;
+  cfg.queries_per_hotspot = 5;
+  cfg.hotspot_radius = 2;
+  cfg.seed = 3;
+  auto queries = GenerateHotspotWorkload(g, cfg);
+  for (size_t hs = 0; hs < 8; ++hs) {
+    for (size_t i = 1; i < 5; ++i) {
+      const NodeId a = queries[hs * 5].node;
+      const NodeId b = queries[hs * 5 + i].node;
+      const int32_t d = HopDistance(g, a, b, 2 * cfg.hotspot_radius + 1);
+      ASSERT_NE(d, kUnreachable);
+      EXPECT_LE(d, 2 * cfg.hotspot_radius);
+    }
+  }
+}
+
+TEST(WorkloadTest, UniformMixtureOfQueryTypes) {
+  Graph g = GenerateErdosRenyi(300, 1500, 4);
+  WorkloadConfig cfg;
+  cfg.num_hotspots = 100;
+  cfg.queries_per_hotspot = 10;
+  auto queries = GenerateHotspotWorkload(g, cfg);
+  std::map<QueryType, int> counts;
+  for (const Query& q : queries) {
+    counts[q.type] += 1;
+  }
+  EXPECT_EQ(counts.size(), 3u);
+  for (const auto& [type, count] : counts) {
+    EXPECT_GT(count, 250);
+    EXPECT_LT(count, 420);
+  }
+}
+
+TEST(WorkloadTest, WeightsRespected) {
+  Graph g = GenerateErdosRenyi(200, 800, 5);
+  WorkloadConfig cfg;
+  cfg.num_hotspots = 50;
+  cfg.queries_per_hotspot = 10;
+  cfg.weight_random_walk = 0.0;
+  cfg.weight_reachability = 0.0;
+  auto queries = GenerateHotspotWorkload(g, cfg);
+  for (const Query& q : queries) {
+    EXPECT_EQ(q.type, QueryType::kNeighborAggregation);
+  }
+}
+
+TEST(WorkloadTest, ReachabilityQueriesHaveTargets) {
+  Graph g = GenerateErdosRenyi(300, 1200, 6);
+  WorkloadConfig cfg;
+  cfg.num_hotspots = 60;
+  cfg.queries_per_hotspot = 5;
+  auto queries = GenerateHotspotWorkload(g, cfg);
+  for (const Query& q : queries) {
+    if (q.type == QueryType::kReachability) {
+      EXPECT_NE(q.target, kInvalidNode);
+      EXPECT_LT(q.target, g.num_nodes());
+    }
+  }
+}
+
+TEST(WorkloadTest, DeterministicInSeed) {
+  Graph g = GenerateErdosRenyi(200, 800, 7);
+  WorkloadConfig cfg;
+  cfg.seed = 99;
+  cfg.num_hotspots = 10;
+  auto a = GenerateHotspotWorkload(g, cfg);
+  auto b = GenerateHotspotWorkload(g, cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_EQ(a[i].type, b[i].type);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+  }
+}
+
+TEST(WorkloadTest, UniformWorkloadCoversGraph) {
+  Graph g = GenerateErdosRenyi(1000, 3000, 8);
+  WorkloadConfig cfg;
+  auto queries = GenerateUniformWorkload(g, 500, cfg);
+  EXPECT_EQ(queries.size(), 500u);
+  std::set<NodeId> distinct;
+  for (const Query& q : queries) {
+    distinct.insert(q.node);
+  }
+  EXPECT_GT(distinct.size(), 300u);  // uniform, not hotspot-clustered
+}
+
+TEST(WorkloadTest, SingleNodeGraph) {
+  GraphBuilder b;
+  b.AddNode();
+  Graph g = b.Build();
+  WorkloadConfig cfg;
+  cfg.num_hotspots = 3;
+  cfg.queries_per_hotspot = 2;
+  auto queries = GenerateHotspotWorkload(g, cfg);
+  EXPECT_EQ(queries.size(), 6u);
+  for (const Query& q : queries) {
+    EXPECT_EQ(q.node, 0u);
+  }
+}
+
+// ------------------------------------------------------------ Datasets --
+
+TEST(DatasetsTest, CatalogComplete) {
+  EXPECT_EQ(AllDatasets().size(), 4u);
+  for (const auto& spec : AllDatasets()) {
+    EXPECT_FALSE(spec.name.empty());
+    EXPECT_GT(spec.paper_nodes, 0u);
+    EXPECT_GT(spec.base_nodes, 0u);
+  }
+  EXPECT_EQ(GetDatasetSpec(DatasetId::kWebGraphLike).name, "webgraph-like");
+}
+
+TEST(DatasetsTest, ScaleControlsSize) {
+  Graph small = MakeDataset(DatasetId::kWebGraphLike, 0.02, 1);
+  Graph large = MakeDataset(DatasetId::kWebGraphLike, 0.08, 1);
+  EXPECT_GT(large.num_nodes(), small.num_nodes());
+}
+
+TEST(DatasetsTest, WebGraphLikeHasHighOverlapAndSkew) {
+  Graph g = MakeDataset(DatasetId::kWebGraphLike, 0.1, 2);
+  auto stats = ComputeDegreeStats(g);
+  EXPECT_GT(stats.top1pct_degree_share, 0.05);
+  Rng rng(3);
+  EXPECT_GT(HotspotNeighborhoodOverlap(g, 2, 2, 30, rng), 0.5);
+}
+
+TEST(DatasetsTest, FriendsterLikeHasLowOverlap) {
+  Graph web = MakeDataset(DatasetId::kWebGraphLike, 0.08, 4);
+  Graph social = MakeDataset(DatasetId::kFriendsterLike, 0.08, 4);
+  Rng r1(5);
+  Rng r2(5);
+  const double web_overlap = HotspotNeighborhoodOverlap(web, 2, 2, 25, r1);
+  const double social_overlap = HotspotNeighborhoodOverlap(social, 2, 2, 25, r2);
+  // The paper's Section 4.8 observation: Friendster's neighbourhood overlap
+  // is much lower than WebGraph's, making caching less effective.
+  EXPECT_LT(social_overlap, web_overlap);
+}
+
+TEST(DatasetsTest, FreebaseLikeIsSparseAndLabeled) {
+  Graph g = MakeDataset(DatasetId::kFreebaseLike, 0.1, 6);
+  const double avg_deg = static_cast<double>(g.num_edges()) /
+                         static_cast<double>(g.num_nodes());
+  EXPECT_LT(avg_deg, 3.0);
+  size_t labeled = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    labeled += g.node_label(u) != kNoLabel;
+  }
+  EXPECT_GT(labeled, g.num_nodes() / 2);
+}
+
+TEST(DatasetsTest, DeterministicInSeed) {
+  Graph a = MakeDataset(DatasetId::kMemetrackerLike, 0.05, 9);
+  Graph b = MakeDataset(DatasetId::kMemetrackerLike, 0.05, 9);
+  EXPECT_EQ(a.num_nodes(), b.num_nodes());
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+}
+
+}  // namespace
+}  // namespace grouting
