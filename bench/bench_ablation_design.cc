@@ -45,9 +45,9 @@ void BM_CachePolicy(benchmark::State& state) {
   opts.cache_policy = policy;
   // Constrain capacity to 1/16 of the working set so eviction policy matters.
   opts.cache_bytes = Env().graph().TotalAdjacencyBytes() / 16;
-  SimMetrics m;
+  ClusterMetrics m;
   for (auto _ : state) {
-    m = Env().RunDecoupled(opts);
+    m = Env().Run(BenchEngine(), opts);
   }
   SetCounters(state, m);
   PolicyRows().push_back({"embed + " + CachePolicyName(policy) + " (1/16 capacity)", m});
@@ -61,9 +61,9 @@ void BM_Stealing(benchmark::State& state) {
   RunOptions opts;
   opts.scheme = scheme;
   opts.stealing = stealing;
-  SimMetrics m;
+  ClusterMetrics m;
   for (auto _ : state) {
-    m = Env().RunDecoupled(opts);
+    m = Env().Run(BenchEngine(), opts);
   }
   SetCounters(state, m);
   StealRows().push_back({RoutingSchemeKindName(scheme) +
@@ -93,16 +93,13 @@ void BM_StoragePartitioning(benchmark::State& state) {
       break;
   }
 
-  SimConfig sc;
-  sc.num_processors = PaperDefaults::kProcessors;
-  sc.num_storage_servers = PaperDefaults::kStorageServers;
-  sc.processor.cache_bytes = Env().AmpleCacheBytes();
-  RunOptions opts;  // for strategy construction only
+  RunOptions opts;
   opts.scheme = RoutingSchemeKind::kEmbed;
-  SimMetrics m;
+  ClusterMetrics m;
   for (auto _ : state) {
-    DecoupledClusterSim sim(g, sc, Env().MakeStrategy(opts), placement);
-    m = sim.Run(queries);
+    auto engine = MakeClusterEngine(BenchEngine(), g, Env().MakeClusterConfig(opts),
+                                    Env().MakeStrategy(opts), &placement);
+    m = engine->Run(queries);
   }
   SetCounters(state, m);
   PartitionRows().push_back({label, m});

@@ -3,6 +3,9 @@
 // Every bench binary:
 //   * builds (lazily, once) an ExperimentEnv for its dataset at the bench
 //     scale (override with GROUTING_BENCH_SCALE, default 0.5),
+//   * runs its cluster configurations on the engine selected by
+//     GROUTING_BENCH_ENGINE (sim | threaded, default sim) — the same sweep
+//     re-runs on real threads with one flag,
 //   * registers one google-benchmark per configuration point, carrying the
 //     paper's metrics (throughput, response time, cache hit rate) as
 //     counters — wall time of a benchmark iteration is the simulation's
@@ -37,6 +40,18 @@ inline double BenchScale() {
   return 0.5;
 }
 
+// Which ClusterEngine the bench sweeps run on: GROUTING_BENCH_ENGINE=threaded
+// reruns every figure on real threads; anything else (or unset) keeps the
+// paper's deterministic discrete-event simulation.
+inline EngineKind BenchEngine() {
+  if (const char* s = std::getenv("GROUTING_BENCH_ENGINE")) {
+    if (std::string(s) == "threaded") {
+      return EngineKind::kThreaded;
+    }
+  }
+  return EngineKind::kSimulated;
+}
+
 inline const std::vector<RoutingSchemeKind>& AllSchemes() {
   static const std::vector<RoutingSchemeKind> kSchemes = {
       RoutingSchemeKind::kNoCache, RoutingSchemeKind::kNextReady,
@@ -45,9 +60,10 @@ inline const std::vector<RoutingSchemeKind>& AllSchemes() {
   return kSchemes;
 }
 
-inline void SetCounters(benchmark::State& state, const SimMetrics& m) {
+inline void SetCounters(benchmark::State& state, const ClusterMetrics& m) {
   state.counters["throughput_qps"] = m.throughput_qps;
   state.counters["response_ms"] = m.mean_response_ms;
+  state.counters["p95_response_ms"] = m.p95_response_ms;
   state.counters["hit_rate_pct"] = 100.0 * m.CacheHitRate();
   state.counters["cache_hits"] = static_cast<double>(m.cache_hits);
   state.counters["cache_misses"] = static_cast<double>(m.cache_misses);
@@ -57,7 +73,7 @@ inline void SetCounters(benchmark::State& state, const SimMetrics& m) {
 // One collected row for the post-run summary table.
 struct ResultRow {
   std::string label;
-  SimMetrics metrics;
+  ClusterMetrics metrics;
 };
 
 inline void PrintMetricsTable(const std::string& title,
@@ -72,7 +88,8 @@ inline void PrintMetricsTable(const std::string& title,
               Table::Int(static_cast<int64_t>(row.metrics.cache_misses)),
               Table::Int(static_cast<int64_t>(row.metrics.steals))});
   }
-  std::printf("\n=== %s ===\n%s", title.c_str(), t.ToString().c_str());
+  std::printf("\n=== %s [engine: %s] ===\n%s", title.c_str(),
+              EngineKindName(BenchEngine()).c_str(), t.ToString().c_str());
   std::fflush(stdout);
 }
 

@@ -23,18 +23,16 @@ std::vector<ResultRow>& Rows() {
   return rows;
 }
 
-SimMetrics RunWithPreprocessedFraction(RoutingSchemeKind scheme, double fraction) {
+ClusterMetrics RunWithPreprocessedFraction(RoutingSchemeKind scheme, double fraction) {
   const Graph& g = Env().graph();
   auto queries = Env().HotspotWorkload();
 
-  SimConfig sc;
-  sc.num_processors = PaperDefaults::kProcessors;
-  sc.num_storage_servers = PaperDefaults::kStorageServers;
-  sc.processor.cache_bytes = Env().AmpleCacheBytes();
+  // Unified engine config at the paper's defaults (ample cache).
+  const ClusterConfig cc = Env().MakeClusterConfig(RunOptions{});
 
   if (scheme == RoutingSchemeKind::kHash) {
-    DecoupledClusterSim sim(g, sc, std::make_unique<HashStrategy>());
-    return sim.Run(queries);
+    return MakeClusterEngine(BenchEngine(), g, cc, std::make_unique<HashStrategy>())
+        ->Run(queries);
   }
 
   // Preprocess on the induced subgraph of `fraction` of nodes.
@@ -48,8 +46,8 @@ SimMetrics RunWithPreprocessedFraction(RoutingSchemeKind scheme, double fraction
   auto lms = LandmarkSet::Select(g, lc, &keep);
 
   if (scheme == RoutingSchemeKind::kLandmark) {
-    auto index = std::make_unique<LandmarkIndex>(LandmarkIndex::Build(std::move(lms),
-                                                                      sc.num_processors));
+    auto index = std::make_unique<LandmarkIndex>(
+        LandmarkIndex::Build(std::move(lms), cc.num_processors));
     // Incrementally add the hidden nodes in random order, estimates only.
     for (NodeId u = 0; u < g.num_nodes(); ++u) {
       if (!keep[u]) {
@@ -58,9 +56,7 @@ SimMetrics RunWithPreprocessedFraction(RoutingSchemeKind scheme, double fraction
     }
     auto strategy =
         std::make_unique<LandmarkStrategy>(index.get(), PaperDefaults::kLoadFactor);
-    DecoupledClusterSim sim(g, sc, std::move(strategy));
-    auto m = sim.Run(queries);
-    return m;
+    return MakeClusterEngine(BenchEngine(), g, cc, std::move(strategy))->Run(queries);
   }
 
   // Embed scheme.
@@ -73,10 +69,8 @@ SimMetrics RunWithPreprocessedFraction(RoutingSchemeKind scheme, double fraction
     }
   }
   auto strategy = std::make_unique<EmbedStrategy>(
-      emb.get(), PaperDefaults::kAlpha, PaperDefaults::kLoadFactor, sc.num_processors);
-  DecoupledClusterSim sim(g, sc, std::move(strategy));
-  auto m = sim.Run(queries);
-  return m;
+      emb.get(), PaperDefaults::kAlpha, PaperDefaults::kLoadFactor, cc.num_processors);
+  return MakeClusterEngine(BenchEngine(), g, cc, std::move(strategy))->Run(queries);
 }
 
 void BM_Fig10(benchmark::State& state) {
@@ -84,7 +78,7 @@ void BM_Fig10(benchmark::State& state) {
       RoutingSchemeKind::kEmbed, RoutingSchemeKind::kLandmark, RoutingSchemeKind::kHash};
   const auto scheme = kSchemes[static_cast<size_t>(state.range(0))];
   const double fraction = static_cast<double>(state.range(1)) / 100.0;
-  SimMetrics m;
+  ClusterMetrics m;
   for (auto _ : state) {
     m = RunWithPreprocessedFraction(scheme, fraction);
   }

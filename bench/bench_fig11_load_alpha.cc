@@ -38,9 +38,9 @@ void BM_Fig11a_LoadFactor(benchmark::State& state) {
   RunOptions opts;
   opts.scheme = scheme;
   opts.load_factor = lf;
-  SimMetrics m;
+  ClusterMetrics m;
   for (auto _ : state) {
-    m = Env().RunDecoupled(opts);
+    m = Env().Run(BenchEngine(), opts);
   }
   SetCounters(state, m);
   char label[96];
@@ -54,9 +54,9 @@ void BM_Fig11b_Alpha(benchmark::State& state) {
   RunOptions opts;
   opts.scheme = embed ? RoutingSchemeKind::kEmbed : RoutingSchemeKind::kHash;
   opts.alpha = alpha;
-  SimMetrics m;
+  ClusterMetrics m;
   for (auto _ : state) {
-    m = Env().RunDecoupled(opts);
+    m = Env().Run(BenchEngine(), opts);
   }
   SetCounters(state, m);
   char label[96];

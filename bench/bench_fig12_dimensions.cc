@@ -48,9 +48,9 @@ void BM_Fig12b_ResponseTime(benchmark::State& state) {
   RunOptions opts;
   opts.scheme = RoutingSchemeKind::kEmbed;
   opts.dimensions = dims;
-  SimMetrics m;
+  ClusterMetrics m;
   for (auto _ : state) {
-    m = Env().RunDecoupled(opts);
+    m = Env().Run(BenchEngine(), opts);
   }
   SetCounters(state, m);
   Rows().push_back({"embed D=" + std::to_string(dims), m});
@@ -59,9 +59,9 @@ void BM_Fig12b_ResponseTime(benchmark::State& state) {
 void BM_Fig12b_HashReference(benchmark::State& state) {
   RunOptions opts;
   opts.scheme = RoutingSchemeKind::kHash;
-  SimMetrics m;
+  ClusterMetrics m;
   for (auto _ : state) {
-    m = Env().RunDecoupled(opts);
+    m = Env().Run(BenchEngine(), opts);
   }
   SetCounters(state, m);
   Rows().push_back({"hash (reference)", m});

@@ -32,9 +32,9 @@ void BM_Fig13a_LandmarkCount(benchmark::State& state) {
   RunOptions opts;
   opts.scheme = scheme;
   opts.num_landmarks = count;
-  SimMetrics m;
+  ClusterMetrics m;
   for (auto _ : state) {
-    m = Env().RunDecoupled(opts);
+    m = Env().Run(BenchEngine(), opts);
   }
   SetCounters(state, m);
   char label[96];
@@ -51,9 +51,9 @@ void BM_Fig13b_Separation(benchmark::State& state) {
   RunOptions opts;
   opts.scheme = scheme;
   opts.min_separation = separation;
-  SimMetrics m;
+  ClusterMetrics m;
   for (auto _ : state) {
-    m = Env().RunDecoupled(opts);
+    m = Env().Run(BenchEngine(), opts);
   }
   SetCounters(state, m);
   char label[96];

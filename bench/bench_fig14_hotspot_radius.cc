@@ -27,9 +27,9 @@ void BM_Fig14(benchmark::State& state) {
   opts.scheme = scheme;
   opts.hotspot_radius = r;
   opts.hops = 2;
-  SimMetrics m;
+  ClusterMetrics m;
   for (auto _ : state) {
-    m = Env().RunDecoupled(opts);
+    m = Env().Run(BenchEngine(), opts);
   }
   SetCounters(state, m);
   char label[96];

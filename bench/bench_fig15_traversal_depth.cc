@@ -28,9 +28,9 @@ void BM_Fig15(benchmark::State& state) {
   opts.scheme = scheme;
   opts.hotspot_radius = 2;
   opts.hops = h;
-  SimMetrics m;
+  ClusterMetrics m;
   for (auto _ : state) {
-    m = Env().RunDecoupled(opts);
+    m = Env().Run(BenchEngine(), opts);
   }
   SetCounters(state, m);
   char label[96];

@@ -31,9 +31,9 @@ void BM_Fig16(benchmark::State& state) {
   ExperimentEnv& env = Env(dataset);
   RunOptions opts;
   opts.scheme = scheme;
-  SimMetrics m;
+  ClusterMetrics m;
   for (auto _ : state) {
-    m = env.RunDecoupled(opts);
+    m = env.Run(BenchEngine(), opts);
   }
   SetCounters(state, m);
   Rows().push_back({env.spec().name + " " + RoutingSchemeKindName(scheme), m});

@@ -89,7 +89,7 @@ void BM_Fig7(benchmark::State& state) {
         opts.scheme = RoutingSchemeKind::kEmbed;
         opts.cost = system == 2 ? CostModel::EthernetDefaults()
                                 : CostModel::InfinibandDefaults();
-        const auto m = env.RunDecoupled(opts, queries);
+        const auto m = env.Run(BenchEngine(), opts, queries);
         (system == 2 ? row.grouting_e_qps : row.grouting_qps) = m.throughput_qps;
         SetCounters(state, m);
         break;

@@ -34,9 +34,9 @@ void BM_Fig8a_Processors(benchmark::State& state) {
   RunOptions opts;
   opts.scheme = scheme;
   opts.processors = procs;
-  SimMetrics m;
+  ClusterMetrics m;
   for (auto _ : state) {
-    m = Env().RunDecoupled(opts);
+    m = Env().Run(BenchEngine(), opts);
   }
   SetCounters(state, m);
   ProcRows().push_back(
@@ -50,9 +50,9 @@ void BM_Fig8c_StorageServers(benchmark::State& state) {
   opts.scheme = scheme;
   opts.processors = 4;
   opts.storage_servers = servers;
-  SimMetrics m;
+  ClusterMetrics m;
   for (auto _ : state) {
-    m = Env().RunDecoupled(opts);
+    m = Env().Run(BenchEngine(), opts);
   }
   SetCounters(state, m);
   StorageRows().push_back(

@@ -38,9 +38,9 @@ const std::vector<double>& CacheFractions() {
 void BM_Fig9_NoCache(benchmark::State& state) {
   RunOptions opts;
   opts.scheme = RoutingSchemeKind::kNoCache;
-  SimMetrics m;
+  ClusterMetrics m;
   for (auto _ : state) {
-    m = Env().RunDecoupled(opts);
+    m = Env().Run(BenchEngine(), opts);
   }
   SetCounters(state, m);
   NoCacheResponseMs() = m.mean_response_ms;
@@ -58,9 +58,9 @@ void BM_Fig9_CacheSweep(benchmark::State& state) {
   RunOptions opts;
   opts.scheme = scheme;
   opts.cache_bytes = std::max<uint64_t>(bytes, 1);
-  SimMetrics m;
+  ClusterMetrics m;
   for (auto _ : state) {
-    m = Env().RunDecoupled(opts);
+    m = Env().Run(BenchEngine(), opts);
   }
   SetCounters(state, m);
   state.counters["cache_mb"] = static_cast<double>(opts.cache_bytes) / (1 << 20);
@@ -91,7 +91,7 @@ void PrintFig9c() {
       RunOptions opts;
       opts.scheme = scheme;
       opts.cache_bytes = mid;
-      const auto m = Env().RunDecoupled(opts);
+      const auto m = Env().Run(BenchEngine(), opts);
       if (m.mean_response_ms <= NoCacheResponseMs()) {
         best = mid;
         hi = mid;

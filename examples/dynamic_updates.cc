@@ -14,14 +14,16 @@ using namespace grouting;
 
 namespace {
 
-SimMetrics RunEmbed(const Graph& g, const GraphEmbedding& embedding,
-                    std::span<const Query> queries) {
-  SimConfig sc;
-  sc.num_processors = 4;
-  sc.num_storage_servers = 2;
-  sc.processor.cache_bytes = g.TotalAdjacencyBytes() + (8 << 20);
-  DecoupledClusterSim sim(g, sc, std::make_unique<EmbedStrategy>(&embedding, 0.5, 20.0, 4));
-  return sim.Run(queries);
+ClusterMetrics RunEmbed(const Graph& g, const GraphEmbedding& embedding,
+                        std::span<const Query> queries) {
+  ClusterConfig cc;
+  cc.num_processors = 4;
+  cc.num_storage_servers = 2;
+  cc.processor.cache_bytes = g.TotalAdjacencyBytes() + (8 << 20);
+  auto engine = MakeClusterEngine(
+      EngineKind::kSimulated, g, cc,
+      std::make_unique<EmbedStrategy>(&embedding, 0.5, 20.0, cc.num_processors));
+  return engine->Run(queries);
 }
 
 }  // namespace
@@ -61,7 +63,7 @@ int main() {
 
   // Queries BEFORE the catch-up: unknown query nodes fall back to
   // next-ready routing inside EmbedStrategy.
-  const SimMetrics before = RunEmbed(g, embedding, queries);
+  const ClusterMetrics before = RunEmbed(g, embedding, queries);
   std::printf("\n[stale preprocessing]  response %.3f ms, hit rate %.1f%%\n",
               before.mean_response_ms, 100.0 * before.CacheHitRate());
 
@@ -75,7 +77,7 @@ int main() {
   }
   std::printf("incrementally embedded %zu new nodes\n", added);
 
-  const SimMetrics after = RunEmbed(g, embedding, queries);
+  const ClusterMetrics after = RunEmbed(g, embedding, queries);
   std::printf("[incremental catch-up] response %.3f ms, hit rate %.1f%%\n",
               after.mean_response_ms, 100.0 * after.CacheHitRate());
 

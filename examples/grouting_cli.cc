@@ -2,7 +2,7 @@
 // line without writing code.
 //
 //   ./grouting_cli --dataset=webgraph --scale=0.3 --scheme=embed \
-//                  --processors=7 --storage=4 --cache=16MB \
+//                  --engine=sim --processors=7 --storage=4 --cache=16MB \
 //                  --radius=2 --hops=2 --hotspots=100 --per-hotspot=10 \
 //                  --network=infiniband --load-factor=20 --alpha=0.5
 //
@@ -60,6 +60,7 @@ void PrintHelp() {
       "  --dataset=webgraph|friendster|memetracker|freebase   (default webgraph)\n"
       "  --scale=<float>          dataset scale               (default 0.25)\n"
       "  --scheme=no_cache|next_ready|hash|landmark|embed     (default embed)\n"
+      "  --engine=sim|threaded    execution engine            (default sim)\n"
       "  --processors=<int>       query processors            (default 7)\n"
       "  --storage=<int>          storage servers             (default 4)\n"
       "  --cache=<size>           per-processor cache, e.g. 16MB; 0 = ample\n"
@@ -103,10 +104,14 @@ int main(int argc, char** argv) {
 
   const std::string dataset_name = flags.Get("dataset", "webgraph");
   const std::string scheme_name = flags.Get("scheme", "embed");
-  if (kDatasets.count(dataset_name) == 0 || kSchemes.count(scheme_name) == 0) {
-    std::fprintf(stderr, "unknown --dataset or --scheme; see --help\n");
+  const std::string engine_name = flags.Get("engine", "sim");
+  if (kDatasets.count(dataset_name) == 0 || kSchemes.count(scheme_name) == 0 ||
+      (engine_name != "sim" && engine_name != "threaded")) {
+    std::fprintf(stderr, "unknown --dataset, --scheme or --engine; see --help\n");
     return 1;
   }
+  const EngineKind engine =
+      engine_name == "threaded" ? EngineKind::kThreaded : EngineKind::kSimulated;
 
   ExperimentEnv env(kDatasets.at(dataset_name), flags.GetDouble("scale", 0.25),
                     static_cast<uint64_t>(flags.GetInt("seed", 4242)));
@@ -136,13 +141,14 @@ int main(int argc, char** argv) {
   const Graph& g = env.graph();
   std::printf("dataset %s (scale %.2f): %zu nodes, %zu edges\n", dataset_name.c_str(),
               flags.GetDouble("scale", 0.25), g.num_nodes(), g.num_edges());
-  std::printf("running %s on %u processors / %u storage servers (%s)...\n",
+  std::printf("running %s on %u processors / %u storage servers (%s, %s engine)...\n",
               scheme_name.c_str(), opts.processors, opts.storage_servers,
-              opts.cost.net.name.c_str());
+              opts.cost.net.name.c_str(), EngineKindName(engine).c_str());
 
-  const SimMetrics m = env.RunDecoupled(opts);
+  const ClusterMetrics m = env.Run(engine, opts);
 
   Table t({"metric", "value"});
+  t.AddRow({"engine", EngineKindName(engine)});
   t.AddRow({"queries", Table::Int(static_cast<int64_t>(m.queries))});
   t.AddRow({"throughput", Table::Num(m.throughput_qps, 1) + " q/s"});
   t.AddRow({"mean response", Table::Num(m.mean_response_ms, 3) + " ms"});

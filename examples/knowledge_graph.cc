@@ -52,17 +52,14 @@ int main() {
 
   Table t({"routing", "throughput (q/s)", "response (ms)", "hit rate", "reachable"});
   for (auto scheme : {RoutingSchemeKind::kHash, RoutingSchemeKind::kLandmark}) {
-    SimConfig sc;
-    sc.num_processors = 7;
-    sc.num_storage_servers = 4;
-    sc.processor.cache_bytes = env.AmpleCacheBytes();
     RunOptions opts;
     opts.scheme = scheme;
-    DecoupledClusterSim sim(g, sc, env.MakeStrategy(opts));
-    const SimMetrics m = sim.Run(queries);
+    auto engine = MakeClusterEngine(EngineKind::kSimulated, g,
+                                    env.MakeClusterConfig(opts), env.MakeStrategy(opts));
+    const ClusterMetrics m = engine->Run(queries);
     uint64_t reachable = 0;
-    for (const auto& r : sim.results()) {
-      reachable += r.reachable;
+    for (const auto& a : engine->answers()) {
+      reachable += a.result.reachable;
     }
     t.AddRow({RoutingSchemeKindName(scheme), Table::Num(m.throughput_qps, 1),
               Table::Num(m.mean_response_ms, 3),

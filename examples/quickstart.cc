@@ -2,19 +2,27 @@
 // discrete-event simulator, and compare smart routing against the
 // baselines on a hotspot workload.
 //
-//   $ ./examples/quickstart
+//   $ ./examples/quickstart              # discrete-event simulation
+//   $ ./examples/quickstart threaded     # same sweep on real threads
 //
 // This is the 5-minute tour of the public API: ExperimentEnv hides the
 // preprocessing (landmark BFS, graph embedding) and cluster assembly; see
 // the other examples for manual wiring.
 
 #include <cstdio>
+#include <string>
 
 #include "src/core/grouting.h"
 
 using namespace grouting;  // examples only; library code never does this
 
-int main() {
+int main(int argc, char** argv) {
+  // Engine selection: the whole sweep runs identically on the discrete-event
+  // simulator (default) or the real threaded runtime.
+  const EngineKind engine = (argc > 1 && std::string(argv[1]) == "threaded")
+                                ? EngineKind::kThreaded
+                                : EngineKind::kSimulated;
+
   // 1. A scaled-down web-graph-like dataset (communities + shared regional
   //    hubs, heavy degree tail — see DESIGN.md for the substitution).
   ExperimentEnv env(DatasetId::kWebGraphLike, /*scale=*/0.25, /*seed=*/2024);
@@ -30,13 +38,14 @@ int main() {
 
   // 3. Run the same workload under each routing scheme on a cold cluster:
   //    1 router, 7 query processors, 4 storage servers over Infiniband.
+  std::printf("engine: %s\n", EngineKindName(engine).c_str());
   Table t({"routing scheme", "throughput (q/s)", "response (ms)", "cache hit rate"});
   for (auto scheme : {RoutingSchemeKind::kNoCache, RoutingSchemeKind::kNextReady,
                       RoutingSchemeKind::kHash, RoutingSchemeKind::kLandmark,
                       RoutingSchemeKind::kEmbed}) {
     RunOptions opts;
     opts.scheme = scheme;
-    const SimMetrics m = env.RunDecoupled(opts, queries);
+    const ClusterMetrics m = env.Run(engine, opts, queries);
     t.AddRow({RoutingSchemeKindName(scheme), Table::Num(m.throughput_qps, 1),
               Table::Num(m.mean_response_ms, 3),
               Table::Num(100.0 * m.CacheHitRate(), 1) + "%"});

@@ -66,31 +66,30 @@ int main() {
               landmarks.count(), landmarks.stats().bfs_seconds,
               embedding.stats().node_embed_seconds);
 
-  ThreadedConfig tc;
-  tc.num_processors = 4;
-  tc.num_storage_servers = 2;
-  tc.processor.cache_bytes = 8 << 20;
-  ThreadedCluster cluster(
-      g, tc, std::make_unique<EmbedStrategy>(&embedding, 0.5, 20.0, tc.num_processors));
+  ClusterConfig cc;
+  cc.num_processors = 4;
+  cc.num_storage_servers = 2;
+  cc.processor.cache_bytes = 8 << 20;
+  auto cluster = MakeClusterEngine(
+      EngineKind::kThreaded, g, cc,
+      std::make_unique<EmbedStrategy>(&embedding, 0.5, 20.0, cc.num_processors));
 
-  std::vector<ThreadedCluster::AnsweredQuery> answers;
-  const ThreadedMetrics m = cluster.Run(queries, &answers);
+  const ClusterMetrics m = cluster->Run(queries);
 
   uint64_t total_matches = 0;
   uint64_t max_matches = 0;
-  for (const auto& a : answers) {
+  for (const auto& a : cluster->answers()) {
     total_matches += a.result.aggregate;
     max_matches = std::max(max_matches, a.result.aggregate);
   }
   std::printf(
       "\nanswered %llu ego-centric queries in %.3fs (%.0f q/s, real threads)\n"
-      "cache hit rate %.1f%%, %llu steals\n"
+      "response mean %.3f ms / p95 %.3f ms, cache hit rate %.1f%%, %llu steals\n"
       "avg 2-hop contacts at Acme per user: %.1f (max %llu)\n",
-      static_cast<unsigned long long>(m.queries), m.wall_seconds, m.throughput_qps,
-      100.0 * static_cast<double>(m.cache_hits) /
-          static_cast<double>(m.cache_hits + m.cache_misses),
+      static_cast<unsigned long long>(m.queries), m.WallSeconds(), m.throughput_qps,
+      m.mean_response_ms, m.p95_response_ms, 100.0 * m.CacheHitRate(),
       static_cast<unsigned long long>(m.steals),
-      static_cast<double>(total_matches) / static_cast<double>(answers.size()),
+      static_cast<double>(total_matches) / static_cast<double>(cluster->answers().size()),
       static_cast<unsigned long long>(max_matches));
   return 0;
 }

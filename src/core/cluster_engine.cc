@@ -1,0 +1,76 @@
+#include "src/core/cluster_engine.h"
+
+#include <utility>
+
+#include "src/runtime/threaded_cluster.h"
+#include "src/sim/decoupled_sim.h"
+
+namespace grouting {
+
+std::string EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kSimulated:
+      return "simulated";
+    case EngineKind::kThreaded:
+      return "threaded";
+  }
+  GROUTING_CHECK_MSG(false, "unknown engine kind");
+  return "";
+}
+
+ClusterEngine::ClusterEngine(const Graph& graph, const ClusterConfig& config,
+                             const PartitionAssignment* placement)
+    : config_(config) {
+  GROUTING_CHECK(config_.num_processors > 0);
+  GROUTING_CHECK(config_.num_storage_servers > 0);
+  storage_ = std::make_unique<StorageTier>(config_.num_storage_servers);
+  if (placement != nullptr) {
+    storage_->LoadGraph(graph, *placement);
+  } else {
+    storage_->LoadGraph(graph);
+  }
+  processors_.reserve(config_.num_processors);
+  for (uint32_t p = 0; p < config_.num_processors; ++p) {
+    processors_.push_back(
+        std::make_unique<QueryProcessor>(p, storage_.get(), config_.processor));
+  }
+}
+
+void ClusterEngine::AddProcessorStats(ClusterMetrics* m) const {
+  for (const auto& proc : processors_) {
+    m->cache_hits += proc->stats().cache_hits;
+    m->cache_misses += proc->stats().cache_misses;
+    m->nodes_visited += proc->stats().nodes_visited;
+    m->bytes_from_storage += proc->stats().bytes_fetched;
+    m->storage_batches += proc->stats().storage_batches;
+  }
+}
+
+void ClusterEngine::FillLatencyStats(ClusterMetrics* m, std::vector<double> response_us,
+                                     const RunningStat& queue_wait_us) {
+  RunningStat response;
+  for (double r : response_us) {
+    response.Add(r);
+  }
+  m->mean_response_ms = response.mean() / 1000.0;
+  m->p95_response_ms = Percentile(std::move(response_us), 95.0) / 1000.0;
+  m->mean_queue_wait_ms = queue_wait_us.mean() / 1000.0;
+}
+
+std::unique_ptr<ClusterEngine> MakeClusterEngine(
+    EngineKind kind, const Graph& graph, const ClusterConfig& config,
+    std::unique_ptr<RoutingStrategy> strategy, const PartitionAssignment* placement) {
+  GROUTING_CHECK(strategy != nullptr);
+  switch (kind) {
+    case EngineKind::kSimulated:
+      return std::make_unique<DecoupledClusterSim>(graph, config, std::move(strategy),
+                                                   placement);
+    case EngineKind::kThreaded:
+      return std::make_unique<ThreadedCluster>(graph, config, std::move(strategy),
+                                               placement);
+  }
+  GROUTING_CHECK_MSG(false, "unknown engine kind");
+  return nullptr;
+}
+
+}  // namespace grouting

@@ -94,18 +94,25 @@ std::unique_ptr<RoutingStrategy> ExperimentEnv::MakeStrategy(const RunOptions& o
   return nullptr;
 }
 
-SimMetrics ExperimentEnv::RunDecoupled(const RunOptions& options,
-                                       std::span<const Query> queries) {
-  SimConfig sim;
-  sim.num_processors = options.processors;
-  sim.num_storage_servers = options.storage_servers;
-  sim.processor.cache_bytes =
+ClusterConfig ExperimentEnv::MakeClusterConfig(const RunOptions& options) {
+  ClusterConfig config;
+  config.num_processors = options.processors;
+  config.num_storage_servers = options.storage_servers;
+  config.processor.cache_bytes =
       options.cache_bytes == 0 ? AmpleCacheBytes() : options.cache_bytes;
-  sim.processor.cache_policy = options.cache_policy;
-  sim.processor.use_cache = options.scheme != RoutingSchemeKind::kNoCache;
-  sim.cost = options.cost;
-  sim.router.enable_stealing = options.stealing;
+  config.processor.cache_policy = options.cache_policy;
+  config.processor.use_cache = options.scheme != RoutingSchemeKind::kNoCache;
+  config.cost = options.cost;
+  // The threaded engine cannot pace virtual time, but carrying the network
+  // profile's propagation delay as an injected per-batch wait keeps
+  // cost-model sweeps (Ethernet vs Infiniband) meaningful on real threads.
+  config.injected_network_us = options.cost.net.one_way_us;
+  config.enable_stealing = options.stealing;
+  return config;
+}
 
+ClusterMetrics ExperimentEnv::Run(EngineKind engine, const RunOptions& options,
+                                  std::span<const Query> queries) {
   std::vector<Query> generated;
   if (queries.empty()) {
     generated = HotspotWorkload(options.hotspot_radius, options.hops,
@@ -113,8 +120,14 @@ SimMetrics ExperimentEnv::RunDecoupled(const RunOptions& options,
     queries = generated;
   }
 
-  DecoupledClusterSim cluster(graph(), sim, MakeStrategy(options));
-  return cluster.Run(queries);
+  auto cluster = MakeClusterEngine(engine, graph(), MakeClusterConfig(options),
+                                   MakeStrategy(options));
+  return cluster->Run(queries);
+}
+
+ClusterMetrics ExperimentEnv::RunDecoupled(const RunOptions& options,
+                                           std::span<const Query> queries) {
+  return Run(EngineKind::kSimulated, options, queries);
 }
 
 }  // namespace grouting

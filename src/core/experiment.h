@@ -5,8 +5,10 @@
 // say response time across 7 processor counts x 5 routing schemes — pays
 // for preprocessing once, exactly like the paper's experimental setup.
 //
-// RunDecoupled() assembles a fresh simulated cluster (cold caches, as in
-// the paper) for the given options and runs the hotspot workload.
+// Run() assembles a fresh cluster (cold caches, as in the paper) on the
+// requested engine — EngineKind::kSimulated for the paper's modelled
+// cluster, EngineKind::kThreaded for real threads — and runs the hotspot
+// workload. RunDecoupled() is the historical simulated-engine shim.
 
 #ifndef GROUTING_SRC_CORE_EXPERIMENT_H_
 #define GROUTING_SRC_CORE_EXPERIMENT_H_
@@ -17,10 +19,10 @@
 #include <tuple>
 #include <vector>
 
+#include "src/core/cluster_engine.h"
 #include "src/embed/embedding.h"
 #include "src/landmark/landmark_index.h"
 #include "src/routing/strategy.h"
-#include "src/sim/decoupled_sim.h"
 #include "src/workload/datasets.h"
 #include "src/workload/workload.h"
 
@@ -91,10 +93,20 @@ class ExperimentEnv {
   // stays valid for the env's lifetime.
   std::unique_ptr<RoutingStrategy> MakeStrategy(const RunOptions& options);
 
-  // Assembles a cold decoupled cluster and runs the workload implied by
-  // `options` (or `queries` if provided).
-  SimMetrics RunDecoupled(const RunOptions& options,
-                          std::span<const Query> queries = {});
+  // Lowers an options struct into the unified engine config (resolving
+  // "ample" cache to a concrete byte count and the no-cache scheme to a
+  // cache-less processor). Benches that assemble engines manually (custom
+  // strategies, explicit storage placements) start from this.
+  ClusterConfig MakeClusterConfig(const RunOptions& options);
+
+  // Assembles a cold decoupled cluster on the requested engine and runs the
+  // workload implied by `options` (or `queries` if provided).
+  ClusterMetrics Run(EngineKind engine, const RunOptions& options,
+                     std::span<const Query> queries = {});
+
+  // Thin shim: Run(EngineKind::kSimulated, ...).
+  ClusterMetrics RunDecoupled(const RunOptions& options,
+                              std::span<const Query> queries = {});
 
   uint64_t seed() const { return seed_; }
 

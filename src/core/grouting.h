@@ -9,17 +9,21 @@
 //   ExperimentEnv env(DatasetId::kWebGraphLike, /*scale=*/0.5);
 //   RunOptions opts;
 //   opts.scheme = RoutingSchemeKind::kEmbed;
-//   auto metrics = env.RunDecoupled(opts);
+//   auto metrics = env.Run(EngineKind::kSimulated, opts);   // virtual time
+//   auto real = env.Run(EngineKind::kThreaded, opts);       // real threads
 //
-// or assemble the pieces manually: StorageTier + QueryProcessor + Router +
-// a RoutingStrategy, driven by DecoupledClusterSim (virtual time) or
-// ThreadedCluster (real threads).
+// or assemble an engine manually from the unified config:
+//
+//   auto engine = MakeClusterEngine(EngineKind::kThreaded, g, ClusterConfig{},
+//                                   std::make_unique<HashStrategy>());
+//   auto metrics = engine->Run(queries);
 
 #ifndef GROUTING_SRC_CORE_GROUTING_H_
 #define GROUTING_SRC_CORE_GROUTING_H_
 
 #include "src/baselines/coupled.h"
 #include "src/cache/cache.h"
+#include "src/core/cluster_engine.h"
 #include "src/core/experiment.h"
 #include "src/embed/embedding.h"
 #include "src/graph/generators.h"

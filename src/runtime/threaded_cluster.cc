@@ -1,6 +1,6 @@
 #include "src/runtime/threaded_cluster.h"
 
-#include <chrono>
+#include <utility>
 
 namespace grouting {
 namespace {
@@ -16,21 +16,22 @@ void BusyWaitUs(double us) {
   }
 }
 
+double ElapsedUs(std::chrono::steady_clock::time_point from,
+                 std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
 }  // namespace
 
-ThreadedCluster::ThreadedCluster(const Graph& graph, ThreadedConfig config,
-                                 std::unique_ptr<RoutingStrategy> strategy)
-    : config_(config), strategy_(std::move(strategy)) {
-  GROUTING_CHECK(config_.num_processors > 0);
-  GROUTING_CHECK(config_.num_storage_servers > 0);
+ThreadedCluster::ThreadedCluster(const Graph& graph, const ClusterConfig& config,
+                                 std::unique_ptr<RoutingStrategy> strategy,
+                                 const PartitionAssignment* placement)
+    : ClusterEngine(graph, config, placement), strategy_(std::move(strategy)) {
   GROUTING_CHECK(strategy_ != nullptr);
-  storage_ = std::make_unique<StorageTier>(config_.num_storage_servers);
-  storage_->LoadGraph(graph);
   for (uint32_t p = 0; p < config_.num_processors; ++p) {
-    processors_.push_back(
-        std::make_unique<QueryProcessor>(p, storage_.get(), config_.processor));
-    channels_.push_back(std::make_unique<MpmcQueue<Query>>());
+    channels_.push_back(std::make_unique<MpmcQueue<Routed>>());
   }
+  samples_.resize(config_.num_processors);
 }
 
 ThreadedCluster::~ThreadedCluster() {
@@ -45,7 +46,7 @@ ThreadedCluster::~ThreadedCluster() {
   }
 }
 
-bool ThreadedCluster::StealInto(uint32_t thief, Query* out) {
+bool ThreadedCluster::StealInto(uint32_t thief, Routed* out) {
   // Scan for the longest sibling channel; take its oldest pending query.
   // (The DES router steals the newest; with MPMC channels the oldest is the
   // lock-free-friendly end. The balance property is identical.)
@@ -74,33 +75,38 @@ bool ThreadedCluster::StealInto(uint32_t thief, Query* out) {
 }
 
 void ThreadedCluster::ProcessorLoop(uint32_t p) {
+  LatencySamples& samples = samples_[p];
   while (!shutdown_.load(std::memory_order_acquire) &&
          remaining_.load(std::memory_order_acquire) > 0) {
-    Query q;
+    Routed routed;
     auto own = channels_[p]->TryPop();
     if (own.has_value()) {
-      q = *own;
-    } else if (!config_.enable_stealing || !StealInto(p, &q)) {
+      routed = *own;
+    } else if (!config_.enable_stealing || !StealInto(p, &routed)) {
       std::this_thread::yield();
       continue;
     }
-    QueryResult result = processors_[p]->Execute(q);
+    const auto dispatched = Clock::now();
+    samples.queue_wait_us.Add(ElapsedUs(routed.routed_at, dispatched));
+    QueryResult result = processors_[p]->Execute(routed.query);
     if (config_.injected_network_us > 0.0) {
       // Two one-way hops per storage batch of the query just executed.
       const auto batches = processors_[p]->last_trace().batches.size();
       BusyWaitUs(2.0 * config_.injected_network_us * static_cast<double>(batches));
     }
-    answers_.Push(AnsweredQuery{q.id, p, result});
+    samples.response_us.push_back(ElapsedUs(dispatched, Clock::now()));
+    completions_.Push(AnsweredQuery{routed.query.id, p, result});
     remaining_.fetch_sub(1, std::memory_order_acq_rel);
   }
 }
 
-ThreadedMetrics ThreadedCluster::Run(std::span<const Query> queries,
-                                     std::vector<AnsweredQuery>* answers) {
-  GROUTING_CHECK_MSG(threads_.empty(), "Run may only be called once");
+ClusterMetrics ThreadedCluster::Run(std::span<const Query> queries) {
+  GROUTING_CHECK_MSG(!ran_, "ThreadedCluster::Run may only be called once");
+  ran_ = true;
+  answers_.reserve(queries.size());
   remaining_.store(queries.size(), std::memory_order_release);
 
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = Clock::now();
   threads_.reserve(config_.num_processors);
   for (uint32_t p = 0; p < config_.num_processors; ++p) {
     threads_.emplace_back([this, p] { ProcessorLoop(p); });
@@ -118,23 +124,19 @@ ThreadedMetrics ThreadedCluster::Run(std::span<const Query> queries,
     ctx.queue_lengths = lengths;
     const uint32_t target = strategy_->Route(q.node, ctx);
     GROUTING_CHECK(target < config_.num_processors);
-    channels_[target]->Push(q);
+    strategy_->OnDispatch(q.node, target);
+    channels_[target]->Push(Routed{q, Clock::now()});
   }
 
   // Wait for completion, collecting answers as they arrive.
-  uint64_t collected = 0;
-  while (collected < queries.size()) {
-    auto a = answers_.Pop();
+  while (answers_.size() < queries.size()) {
+    auto a = completions_.Pop();
     if (!a.has_value()) {
       break;
     }
-    if (answers != nullptr) {
-      answers->push_back(*a);
-    }
-    ++collected;
+    answers_.push_back(*a);
   }
-  const double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  const auto end = Clock::now();
 
   shutdown_.store(true, std::memory_order_release);
   for (auto& t : threads_) {
@@ -142,16 +144,22 @@ ThreadedMetrics ThreadedCluster::Run(std::span<const Query> queries,
   }
   threads_.clear();
 
-  ThreadedMetrics m;
-  m.queries = collected;
-  m.wall_seconds = wall;
-  m.throughput_qps = wall > 0.0 ? static_cast<double>(collected) / wall : 0.0;
+  ClusterMetrics m;
+  m.queries = answers_.size();
+  m.makespan_us = ElapsedUs(start, end);
+  m.throughput_qps =
+      m.makespan_us > 0.0 ? static_cast<double>(m.queries) / (m.makespan_us / 1e6) : 0.0;
+  std::vector<double> response_us;
+  RunningStat queue_wait_us;
   m.queries_per_processor.assign(config_.num_processors, 0);
   for (uint32_t p = 0; p < config_.num_processors; ++p) {
-    m.cache_hits += processors_[p]->stats().cache_hits;
-    m.cache_misses += processors_[p]->stats().cache_misses;
+    response_us.insert(response_us.end(), samples_[p].response_us.begin(),
+                       samples_[p].response_us.end());
+    queue_wait_us.Merge(samples_[p].queue_wait_us);
     m.queries_per_processor[p] = processors_[p]->stats().queries_executed;
   }
+  FillLatencyStats(&m, std::move(response_us), queue_wait_us);
+  AddProcessorStats(&m);
   m.steals = steals_.load(std::memory_order_relaxed);
   return m;
 }

@@ -10,79 +10,70 @@
 //
 // The simulator answers "what would the paper's cluster do"; this runtime
 // answers "does the system actually work under real concurrency" — examples
-// and integration tests run on it, and cross-engine tests assert both give
-// identical query answers.
+// and integration tests run on it, and the cross-engine parity test
+// enforces that both give identical query answers.
+//
+// This is the EngineKind::kThreaded implementation of ClusterEngine. Every
+// query carries wall-clock timestamps (routed, dispatched, completed), so
+// the runtime reports the same response-time and queue-wait statistics as
+// the simulator.
 
 #ifndef GROUTING_SRC_RUNTIME_THREADED_CLUSTER_H_
 #define GROUTING_SRC_RUNTIME_THREADED_CLUSTER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
 
-#include "src/proc/processor.h"
-#include "src/query/query.h"
-#include "src/routing/strategy.h"
-#include "src/storage/storage_tier.h"
+#include "src/core/cluster_engine.h"
 #include "src/util/mpmc_queue.h"
 
 namespace grouting {
 
-struct ThreadedConfig {
-  uint32_t num_processors = 4;
-  uint32_t num_storage_servers = 2;
-  ProcessorConfig processor;
-  bool enable_stealing = true;
-  // Optional injected one-way network delay per storage batch (busy-wait,
-  // microseconds). 0 = run at memory speed.
-  double injected_network_us = 0.0;
-};
-
-struct ThreadedMetrics {
-  uint64_t queries = 0;
-  double wall_seconds = 0.0;
-  double throughput_qps = 0.0;
-  uint64_t cache_hits = 0;
-  uint64_t cache_misses = 0;
-  uint64_t steals = 0;
-  std::vector<uint64_t> queries_per_processor;
-};
-
-class ThreadedCluster {
+class ThreadedCluster : public ClusterEngine {
  public:
-  ThreadedCluster(const Graph& graph, ThreadedConfig config,
-                  std::unique_ptr<RoutingStrategy> strategy);
-  ~ThreadedCluster();
+  ThreadedCluster(const Graph& graph, const ClusterConfig& config,
+                  std::unique_ptr<RoutingStrategy> strategy,
+                  const PartitionAssignment* placement = nullptr);
+  ~ThreadedCluster() override;
 
-  ThreadedCluster(const ThreadedCluster&) = delete;
-  ThreadedCluster& operator=(const ThreadedCluster&) = delete;
+  EngineKind kind() const override { return EngineKind::kThreaded; }
 
-  // Runs the workload to completion. Results are returned in completion
-  // order along with the id of the query that produced each.
-  struct AnsweredQuery {
-    uint64_t query_id;
-    uint32_t processor;
-    QueryResult result;
-  };
-  ThreadedMetrics Run(std::span<const Query> queries, std::vector<AnsweredQuery>* answers);
+  // Runs the workload to completion; answers (in completion order) are
+  // available via answers() afterwards. May be called once per instance.
+  ClusterMetrics Run(std::span<const Query> queries) override;
 
  private:
-  void ProcessorLoop(uint32_t p);
-  bool StealInto(uint32_t thief, Query* out);
+  using Clock = std::chrono::steady_clock;
 
-  ThreadedConfig config_;
-  std::unique_ptr<StorageTier> storage_;
+  // A query travelling through a processor channel, stamped at routing time
+  // so the dispatching processor can account the queue wait.
+  struct Routed {
+    Query query;
+    Clock::time_point routed_at;
+  };
+
+  // Per-processor latency samples (µs), written only by the owning thread
+  // and read after all threads joined. Response times keep raw samples for
+  // the percentile; queue waits only feed a mean, so a RunningStat suffices.
+  struct LatencySamples {
+    std::vector<double> response_us;
+    RunningStat queue_wait_us;
+  };
+
+  void ProcessorLoop(uint32_t p);
+  bool StealInto(uint32_t thief, Routed* out);
+
   std::unique_ptr<RoutingStrategy> strategy_;
-  std::vector<std::unique_ptr<QueryProcessor>> processors_;
-  std::vector<std::unique_ptr<MpmcQueue<Query>>> channels_;
-  std::vector<std::unique_ptr<std::mutex>> processor_mutexes_;  // serialise Execute
+  std::vector<std::unique_ptr<MpmcQueue<Routed>>> channels_;
+  std::vector<LatencySamples> samples_;
   std::atomic<uint64_t> steals_{0};
   std::atomic<uint64_t> remaining_{0};
-  MpmcQueue<AnsweredQuery> answers_;
+  MpmcQueue<AnsweredQuery> completions_;
   std::vector<std::thread> threads_;
   std::atomic<bool> shutdown_{false};
 };

@@ -2,49 +2,26 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
 
 namespace grouting {
 
-DecoupledClusterSim::DecoupledClusterSim(const Graph& graph, SimConfig config,
-                                         std::unique_ptr<RoutingStrategy> strategy)
-    : config_(config) {
-  Init(graph, std::move(strategy), nullptr);
-}
-
-DecoupledClusterSim::DecoupledClusterSim(const Graph& graph, SimConfig config,
+DecoupledClusterSim::DecoupledClusterSim(const Graph& graph, const ClusterConfig& config,
                                          std::unique_ptr<RoutingStrategy> strategy,
-                                         const PartitionAssignment& storage_placement)
-    : config_(config) {
-  Init(graph, std::move(strategy), &storage_placement);
-}
-
-void DecoupledClusterSim::Init(const Graph& graph,
-                               std::unique_ptr<RoutingStrategy> strategy,
-                               const PartitionAssignment* placement) {
-  GROUTING_CHECK(config_.num_processors > 0);
-  GROUTING_CHECK(config_.num_storage_servers > 0);
-  storage_ = std::make_unique<StorageTier>(config_.num_storage_servers);
-  if (placement != nullptr) {
-    storage_->LoadGraph(graph, *placement);
-  } else {
-    storage_->LoadGraph(graph);
-  }
-  router_ = std::make_unique<Router>(std::move(strategy), config_.num_processors,
-                                     config_.router);
-  processors_.reserve(config_.num_processors);
-  for (uint32_t p = 0; p < config_.num_processors; ++p) {
-    processors_.push_back(
-        std::make_unique<QueryProcessor>(p, storage_.get(), config_.processor));
-  }
+                                         const PartitionAssignment* placement)
+    : ClusterEngine(graph, config, placement) {
+  RouterConfig rc;
+  rc.enable_stealing = config_.enable_stealing;
+  router_ = std::make_unique<Router>(std::move(strategy), config_.num_processors, rc);
   in_flight_.resize(config_.num_processors);
   processor_idle_.assign(config_.num_processors, 1);
   server_busy_until_.assign(config_.num_storage_servers, 0.0);
 }
 
-SimMetrics DecoupledClusterSim::Run(std::span<const Query> queries) {
+ClusterMetrics DecoupledClusterSim::Run(std::span<const Query> queries) {
   GROUTING_CHECK_MSG(!ran_, "DecoupledClusterSim::Run may only be called once");
   ran_ = true;
-  results_.reserve(queries.size());
+  answers_.reserve(queries.size());
 
   std::unordered_map<uint64_t, SimTimeUs> arrival_time;
   arrival_time.reserve(queries.size());
@@ -83,21 +60,13 @@ SimMetrics DecoupledClusterSim::Run(std::span<const Query> queries) {
   events_.RunUntilEmpty(/*max_events=*/2'000'000'000ULL);
   dispatch_wait_hook_ = nullptr;
 
-  SimMetrics m;
-  m.queries = results_.size();
+  ClusterMetrics m;
+  m.queries = answers_.size();
   m.makespan_us = events_.now();
   m.throughput_qps =
       m.makespan_us > 0.0 ? static_cast<double>(m.queries) / (m.makespan_us / 1e6) : 0.0;
-  m.mean_response_ms = response_us_.mean() / 1000.0;
-  m.p95_response_ms = Percentile(response_samples_us_, 95.0) / 1000.0;
-  m.mean_queue_wait_ms = queue_wait_us_.mean() / 1000.0;
-  for (const auto& proc : processors_) {
-    m.cache_hits += proc->stats().cache_hits;
-    m.cache_misses += proc->stats().cache_misses;
-    m.nodes_visited += proc->stats().nodes_visited;
-    m.bytes_from_storage += proc->stats().bytes_fetched;
-    m.storage_batches += proc->stats().storage_batches;
-  }
+  FillLatencyStats(&m, std::move(response_samples_us_), queue_wait_us_);
+  AddProcessorStats(&m);
   m.steals = router_->stats().steals;
   m.queries_per_processor = router_->stats().per_processor;
   return m;
@@ -142,9 +111,8 @@ void DecoupledClusterSim::AdvanceLevel(uint32_t p) {
     // Query complete: result travels back to the router (the ack that lets
     // the router send the next query to this processor).
     const SimTimeUs response = events_.now() - f.dispatch_time;
-    response_us_.Add(response);
     response_samples_us_.push_back(response);
-    results_.push_back(f.result);
+    answers_.push_back(AnsweredQuery{f.query.id, p, f.result});
     events_.ScheduleAfter(config_.cost.net.one_way_us, [this, p] {
       processor_idle_[p] = 1;
       TryDispatch(p);

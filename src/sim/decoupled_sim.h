@@ -13,79 +13,42 @@
 // close the level. This keeps functional behaviour (what is in which cache)
 // and temporal behaviour (who waits for whom) consistent while staying
 // deterministic.
+//
+// This is the EngineKind::kSimulated implementation of ClusterEngine; the
+// threaded runtime (src/runtime/) is its wall-clock twin.
 
 #ifndef GROUTING_SRC_SIM_DECOUPLED_SIM_H_
 #define GROUTING_SRC_SIM_DECOUPLED_SIM_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
 
-#include "src/net/cost_model.h"
-#include "src/proc/processor.h"
-#include "src/query/query.h"
+#include "src/core/cluster_engine.h"
 #include "src/routing/router.h"
 #include "src/sim/event_queue.h"
-#include "src/storage/storage_tier.h"
-#include "src/util/stats.h"
 
 namespace grouting {
 
-struct SimConfig {
-  uint32_t num_processors = 7;       // paper default tier split: 1 / 7 / 4
-  uint32_t num_storage_servers = 4;
-  ProcessorConfig processor;
-  CostModel cost = CostModel::InfinibandDefaults();
-  RouterConfig router;
-  // Inter-arrival gap between consecutive queries at the router (µs); the
-  // paper sends queries back to back, so the default keeps arrivals dense
-  // enough to saturate the processors.
-  double arrival_gap_us = 0.0;
-};
-
-struct SimMetrics {
-  uint64_t queries = 0;
-  SimTimeUs makespan_us = 0.0;
-  double throughput_qps = 0.0;
-  double mean_response_ms = 0.0;  // dispatch -> completion (paper's metric)
-  double p95_response_ms = 0.0;
-  double mean_queue_wait_ms = 0.0;
-  uint64_t cache_hits = 0;
-  uint64_t cache_misses = 0;
-  uint64_t nodes_visited = 0;
-  uint64_t bytes_from_storage = 0;
-  uint64_t storage_batches = 0;
-  uint64_t steals = 0;
-  std::vector<uint64_t> queries_per_processor;
-  double CacheHitRate() const {
-    const uint64_t total = cache_hits + cache_misses;
-    return total == 0 ? 0.0 : static_cast<double>(cache_hits) / static_cast<double>(total);
-  }
-};
-
 // One simulated cluster. The graph is loaded into the storage tier at
 // construction (hash placement by default, or an explicit assignment).
-class DecoupledClusterSim {
+class DecoupledClusterSim : public ClusterEngine {
  public:
-  DecoupledClusterSim(const Graph& graph, SimConfig config,
-                      std::unique_ptr<RoutingStrategy> strategy);
-  DecoupledClusterSim(const Graph& graph, SimConfig config,
+  DecoupledClusterSim(const Graph& graph, const ClusterConfig& config,
                       std::unique_ptr<RoutingStrategy> strategy,
-                      const PartitionAssignment& storage_placement);
+                      const PartitionAssignment* placement = nullptr);
+
+  EngineKind kind() const override { return EngineKind::kSimulated; }
 
   // Runs the workload to completion (cold caches) and returns the metrics.
   // May be called once per instance.
-  SimMetrics Run(std::span<const Query> queries);
+  ClusterMetrics Run(std::span<const Query> queries) override;
 
   Router& router() { return *router_; }
-  QueryProcessor& processor(uint32_t p) { return *processors_[p]; }
-  StorageTier& storage() { return *storage_; }
-  const std::vector<QueryResult>& results() const { return results_; }
 
  private:
-  void Init(const Graph& graph, std::unique_ptr<RoutingStrategy> strategy,
-            const PartitionAssignment* placement);
   // Asks the router for work for processor p; begins execution or idles.
   void TryDispatch(uint32_t p);
   // Advances the in-flight query on processor p to its next traversal level.
@@ -103,20 +66,14 @@ class DecoupledClusterSim {
     SimTimeUs arrival_time = 0.0;
   };
 
-  SimConfig config_;
   EventQueue events_;
   std::function<void(const Query&)> dispatch_wait_hook_;
-  std::unique_ptr<StorageTier> storage_;
   std::unique_ptr<Router> router_;
-  std::vector<std::unique_ptr<QueryProcessor>> processors_;
-  std::vector<InFlight> in_flight_;     // per processor
+  std::vector<InFlight> in_flight_;  // per processor
   std::vector<uint8_t> processor_idle_;
   std::vector<SimTimeUs> server_busy_until_;
-  std::vector<QueryResult> results_;
-  RunningStat response_us_;
   RunningStat queue_wait_us_;
   std::vector<double> response_samples_us_;
-  bool ran_ = false;
 };
 
 }  // namespace grouting

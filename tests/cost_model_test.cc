@@ -41,8 +41,8 @@ class CostKnobTest : public ::testing::Test {
     queries_ = GenerateHotspotWorkload(graph_, wc);
   }
 
-  SimMetrics RunWith(const CostModel& cost, bool use_cache = true) {
-    SimConfig sc;
+  ClusterMetrics RunWith(const CostModel& cost, bool use_cache = true) {
+    ClusterConfig sc;
     sc.num_processors = 3;
     sc.num_storage_servers = 2;
     sc.processor.cache_bytes = graph_.TotalAdjacencyBytes() + (1 << 20);

@@ -1,0 +1,139 @@
+// Cross-engine parity: the promise in threaded_cluster.h — "the simulator
+// and the threaded runtime give identical query answers" — enforced as an
+// invariant for every routing scheme.
+//
+// The same hotspot workload runs through EngineKind::kSimulated and
+// EngineKind::kThreaded built from one ClusterConfig; the answer sets
+// (sorted by query id) must be identical field-for-field, regardless of the
+// nondeterministic interleaving real threads introduce. Query execution is
+// deterministic given the graph and Query::seed, so any divergence means an
+// engine lost, duplicated, or corrupted a query.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "src/core/grouting.h"
+
+namespace grouting {
+namespace {
+
+class CrossEngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    env_ = new ExperimentEnv(DatasetId::kWebGraphLike, /*scale=*/0.12, /*seed=*/19);
+  }
+  static void TearDownTestSuite() {
+    delete env_;
+    env_ = nullptr;
+  }
+
+  static RunOptions SmallRun(RoutingSchemeKind scheme) {
+    RunOptions opts;
+    opts.scheme = scheme;
+    opts.processors = 3;
+    opts.storage_servers = 2;
+    opts.num_landmarks = 24;
+    opts.min_separation = 2;
+    opts.dimensions = 6;
+    opts.num_hotspots = 25;
+    opts.queries_per_hotspot = 4;
+    return opts;
+  }
+
+  static std::vector<AnsweredQuery> SortedAnswers(const ClusterEngine& engine) {
+    std::vector<AnsweredQuery> answers = engine.answers();
+    std::sort(answers.begin(), answers.end(),
+              [](const AnsweredQuery& a, const AnsweredQuery& b) {
+                return a.query_id < b.query_id;
+              });
+    return answers;
+  }
+
+  static ExperimentEnv* env_;
+};
+
+ExperimentEnv* CrossEngineTest::env_ = nullptr;
+
+constexpr RoutingSchemeKind kAllSchemes[] = {
+    RoutingSchemeKind::kNoCache, RoutingSchemeKind::kNextReady,
+    RoutingSchemeKind::kHash, RoutingSchemeKind::kLandmark,
+    RoutingSchemeKind::kEmbed};
+
+TEST_F(CrossEngineTest, IdenticalAnswersForEveryScheme) {
+  const Graph& g = env_->graph();
+  const auto queries = env_->HotspotWorkload(2, 2, 25, 4);
+
+  for (const RoutingSchemeKind scheme : kAllSchemes) {
+    SCOPED_TRACE(RoutingSchemeKindName(scheme));
+    const RunOptions opts = SmallRun(scheme);
+    const ClusterConfig config = env_->MakeClusterConfig(opts);
+
+    auto sim = MakeClusterEngine(EngineKind::kSimulated, g, config,
+                                 env_->MakeStrategy(opts));
+    auto threaded = MakeClusterEngine(EngineKind::kThreaded, g, config,
+                                      env_->MakeStrategy(opts));
+    const ClusterMetrics sim_m = sim->Run(queries);
+    const ClusterMetrics thr_m = threaded->Run(queries);
+
+    // Identical total queries, every single one answered.
+    ASSERT_EQ(sim_m.queries, queries.size());
+    ASSERT_EQ(thr_m.queries, queries.size());
+
+    const auto sim_answers = SortedAnswers(*sim);
+    const auto thr_answers = SortedAnswers(*threaded);
+    ASSERT_EQ(sim_answers.size(), thr_answers.size());
+    for (size_t i = 0; i < sim_answers.size(); ++i) {
+      const AnsweredQuery& a = sim_answers[i];
+      const AnsweredQuery& b = thr_answers[i];
+      ASSERT_EQ(a.query_id, b.query_id) << "answer " << i;
+      EXPECT_EQ(a.result.type, b.result.type) << "query " << a.query_id;
+      EXPECT_EQ(a.result.aggregate, b.result.aggregate) << "query " << a.query_id;
+      EXPECT_EQ(a.result.walk_end, b.result.walk_end) << "query " << a.query_id;
+      EXPECT_EQ(a.result.walk_distinct_nodes, b.result.walk_distinct_nodes)
+          << "query " << a.query_id;
+      EXPECT_EQ(a.result.reachable, b.result.reachable) << "query " << a.query_id;
+      EXPECT_EQ(a.result.distance, b.result.distance) << "query " << a.query_id;
+    }
+  }
+}
+
+TEST_F(CrossEngineTest, EnvRunWorksOnBothEnginesForEveryScheme) {
+  for (const RoutingSchemeKind scheme : kAllSchemes) {
+    SCOPED_TRACE(RoutingSchemeKindName(scheme));
+    const RunOptions opts = SmallRun(scheme);
+    for (const EngineKind kind : {EngineKind::kSimulated, EngineKind::kThreaded}) {
+      const ClusterMetrics m = env_->Run(kind, opts);
+      EXPECT_EQ(m.queries, opts.num_hotspots * opts.queries_per_hotspot)
+          << EngineKindName(kind);
+      EXPECT_GT(m.throughput_qps, 0.0) << EngineKindName(kind);
+      EXPECT_GT(m.mean_response_ms, 0.0) << EngineKindName(kind);
+      const uint64_t split_total = std::accumulate(
+          m.queries_per_processor.begin(), m.queries_per_processor.end(), uint64_t{0});
+      EXPECT_EQ(split_total, m.queries) << EngineKindName(kind);
+      if (scheme == RoutingSchemeKind::kNoCache) {
+        EXPECT_EQ(m.cache_hits, 0u) << EngineKindName(kind);
+      }
+    }
+  }
+}
+
+TEST_F(CrossEngineTest, FactoryBuildsTheRequestedKind) {
+  const Graph& g = env_->graph();
+  ClusterConfig config;
+  config.num_processors = 2;
+  config.num_storage_servers = 2;
+  auto sim = MakeClusterEngine(EngineKind::kSimulated, g, config,
+                               std::make_unique<NextReadyStrategy>());
+  auto threaded = MakeClusterEngine(EngineKind::kThreaded, g, config,
+                                    std::make_unique<NextReadyStrategy>());
+  EXPECT_EQ(sim->kind(), EngineKind::kSimulated);
+  EXPECT_EQ(threaded->kind(), EngineKind::kThreaded);
+  EXPECT_EQ(EngineKindName(sim->kind()), "simulated");
+  EXPECT_EQ(EngineKindName(threaded->kind()), "threaded");
+}
+
+}  // namespace
+}  // namespace grouting

@@ -58,11 +58,11 @@ TEST_F(IntegrationTest, SmartRoutingBeatsBaselinesOnHitRate) {
   base.num_landmarks = 24;
   base.min_separation = 2;
   base.dimensions = 6;
-  auto next_ready = env_->RunDecoupled(base);
+  auto next_ready = env_->Run(EngineKind::kSimulated, base);
   base.scheme = RoutingSchemeKind::kEmbed;
-  auto embed = env_->RunDecoupled(base);
+  auto embed = env_->Run(EngineKind::kSimulated, base);
   base.scheme = RoutingSchemeKind::kLandmark;
-  auto landmark = env_->RunDecoupled(base);
+  auto landmark = env_->Run(EngineKind::kSimulated, base);
 
   // The paper's headline: smart routing gets significantly more cache hits.
   EXPECT_GT(embed.CacheHitRate(), next_ready.CacheHitRate() * 1.3);
@@ -75,10 +75,10 @@ TEST_F(IntegrationTest, NoCacheSlowerThanCachedSchemes) {
   RunOptions opts = SmallRun(RoutingSchemeKind::kNoCache);
   opts.num_landmarks = 24;
   opts.min_separation = 2;
-  auto no_cache = env_->RunDecoupled(opts);
+  auto no_cache = env_->Run(EngineKind::kSimulated, opts);
   EXPECT_EQ(no_cache.cache_hits, 0u);
   opts.scheme = RoutingSchemeKind::kHash;
-  auto hash = env_->RunDecoupled(opts);
+  auto hash = env_->Run(EngineKind::kSimulated, opts);
   EXPECT_LT(hash.mean_response_ms, no_cache.mean_response_ms);
 }
 
@@ -88,10 +88,10 @@ TEST_F(IntegrationTest, TinyCacheWorseThanNoCache) {
   opts.num_landmarks = 24;
   opts.min_separation = 2;
   opts.cache_bytes = 8 << 10;  // 8 KB: pure churn
-  auto tiny = env_->RunDecoupled(opts);
+  auto tiny = env_->Run(EngineKind::kSimulated, opts);
   opts.scheme = RoutingSchemeKind::kNoCache;
   opts.cache_bytes = 0;
-  auto none = env_->RunDecoupled(opts);
+  auto none = env_->Run(EngineKind::kSimulated, opts);
   EXPECT_GT(tiny.mean_response_ms, none.mean_response_ms);
 }
 
@@ -101,42 +101,10 @@ TEST_F(IntegrationTest, ThroughputScalesWithProcessorsUnderEmbed) {
   opts.min_separation = 2;
   opts.dimensions = 6;
   opts.processors = 1;
-  auto p1 = env_->RunDecoupled(opts);
+  auto p1 = env_->Run(EngineKind::kSimulated, opts);
   opts.processors = 4;
-  auto p4 = env_->RunDecoupled(opts);
+  auto p4 = env_->Run(EngineKind::kSimulated, opts);
   EXPECT_GT(p4.throughput_qps, p1.throughput_qps * 2.0);
-}
-
-TEST_F(IntegrationTest, EngineAgreement) {
-  // The DES and the threaded runtime answer the same workload identically.
-  const Graph& g = env_->graph();
-  auto queries = env_->HotspotWorkload(2, 2, 20, 4);
-
-  SimConfig sc;
-  sc.num_processors = 3;
-  sc.num_storage_servers = 2;
-  sc.processor.cache_bytes = env_->AmpleCacheBytes();
-  DecoupledClusterSim sim(g, sc, std::make_unique<HashStrategy>());
-  sim.Run(queries);
-
-  ThreadedConfig tc;
-  tc.num_processors = 3;
-  tc.num_storage_servers = 2;
-  tc.processor.cache_bytes = env_->AmpleCacheBytes();
-  ThreadedCluster cluster(g, tc, std::make_unique<HashStrategy>());
-  std::vector<ThreadedCluster::AnsweredQuery> answers;
-  cluster.Run(queries, &answers);
-
-  uint64_t sim_aggregate = 0;
-  for (const auto& r : sim.results()) {
-    sim_aggregate += r.aggregate + r.reachable + r.walk_distinct_nodes;
-  }
-  uint64_t thr_aggregate = 0;
-  for (const auto& a : answers) {
-    thr_aggregate +=
-        a.result.aggregate + a.result.reachable + a.result.walk_distinct_nodes;
-  }
-  EXPECT_EQ(sim_aggregate, thr_aggregate);
 }
 
 TEST_F(IntegrationTest, CoupledBaselinesFarBelowDecoupled) {
@@ -149,7 +117,7 @@ TEST_F(IntegrationTest, CoupledBaselinesFarBelowDecoupled) {
   opts.num_landmarks = 24;
   opts.min_separation = 2;
   opts.dimensions = 6;
-  auto decoupled = env_->RunDecoupled(opts, queries);
+  auto decoupled = env_->Run(EngineKind::kSimulated, opts, queries);
 
   CoupledConfig cc;
   cc.num_servers = 12;

@@ -71,8 +71,8 @@ class DecoupledSimTest : public ::testing::Test {
     queries_ = GenerateHotspotWorkload(graph_, wc);
   }
 
-  SimConfig BaseConfig() const {
-    SimConfig sc;
+  ClusterConfig BaseConfig() const {
+    ClusterConfig sc;
     sc.num_processors = 3;
     sc.num_storage_servers = 2;
     sc.processor.cache_bytes = graph_.TotalAdjacencyBytes() + (1 << 20);
@@ -87,7 +87,7 @@ TEST_F(DecoupledSimTest, AllQueriesAnswered) {
   DecoupledClusterSim sim(graph_, BaseConfig(), std::make_unique<NextReadyStrategy>());
   auto metrics = sim.Run(queries_);
   EXPECT_EQ(metrics.queries, queries_.size());
-  EXPECT_EQ(sim.results().size(), queries_.size());
+  EXPECT_EQ(sim.answers().size(), queries_.size());
   EXPECT_GT(metrics.makespan_us, 0.0);
   EXPECT_GT(metrics.throughput_qps, 0.0);
   EXPECT_GT(metrics.mean_response_ms, 0.0);
@@ -109,9 +109,9 @@ TEST_F(DecoupledSimTest, AnswersMatchReferenceExecutor) {
   }
   uint64_t got_aggregate = 0;
   uint64_t got_reachable = 0;
-  for (const auto& r : sim.results()) {
-    got_aggregate += r.aggregate;
-    got_reachable += r.reachable;
+  for (const auto& a : sim.answers()) {
+    got_aggregate += a.result.aggregate;
+    got_reachable += a.result.reachable;
   }
   EXPECT_EQ(got_aggregate, expected_aggregate);
   EXPECT_EQ(got_reachable, expected_reachable);
@@ -128,7 +128,7 @@ TEST_F(DecoupledSimTest, WorkConservedAcrossProcessors) {
 }
 
 TEST_F(DecoupledSimTest, NoCacheModeNeverHits) {
-  SimConfig sc = BaseConfig();
+  ClusterConfig sc = BaseConfig();
   sc.processor.use_cache = false;
   DecoupledClusterSim sim(graph_, sc, std::make_unique<NextReadyStrategy>());
   auto metrics = sim.Run(queries_);
@@ -154,12 +154,12 @@ TEST_F(DecoupledSimTest, DeterministicAcrossRuns) {
 }
 
 TEST_F(DecoupledSimTest, MoreProcessorsDoNotReduceThroughput) {
-  SimConfig sc1 = BaseConfig();
+  ClusterConfig sc1 = BaseConfig();
   sc1.num_processors = 1;
   DecoupledClusterSim sim1(graph_, sc1, std::make_unique<NextReadyStrategy>());
   const double thr1 = sim1.Run(queries_).throughput_qps;
 
-  SimConfig sc4 = BaseConfig();
+  ClusterConfig sc4 = BaseConfig();
   sc4.num_processors = 4;
   DecoupledClusterSim sim4(graph_, sc4, std::make_unique<NextReadyStrategy>());
   const double thr4 = sim4.Run(queries_).throughput_qps;
@@ -167,13 +167,13 @@ TEST_F(DecoupledSimTest, MoreProcessorsDoNotReduceThroughput) {
 }
 
 TEST_F(DecoupledSimTest, MoreStorageServersHelpNoCacheWorkload) {
-  SimConfig sc1 = BaseConfig();
+  ClusterConfig sc1 = BaseConfig();
   sc1.processor.use_cache = false;
   sc1.num_storage_servers = 1;
   DecoupledClusterSim sim1(graph_, sc1, std::make_unique<NextReadyStrategy>());
   const double thr1 = sim1.Run(queries_).throughput_qps;
 
-  SimConfig sc4 = BaseConfig();
+  ClusterConfig sc4 = BaseConfig();
   sc4.processor.use_cache = false;
   sc4.num_storage_servers = 4;
   DecoupledClusterSim sim4(graph_, sc4, std::make_unique<NextReadyStrategy>());
@@ -182,12 +182,12 @@ TEST_F(DecoupledSimTest, MoreStorageServersHelpNoCacheWorkload) {
 }
 
 TEST_F(DecoupledSimTest, EthernetSlowerThanInfiniband) {
-  SimConfig ib = BaseConfig();
+  ClusterConfig ib = BaseConfig();
   ib.cost = CostModel::InfinibandDefaults();
   DecoupledClusterSim sim_ib(graph_, ib, std::make_unique<HashStrategy>());
   const double r_ib = sim_ib.Run(queries_).mean_response_ms;
 
-  SimConfig eth = BaseConfig();
+  ClusterConfig eth = BaseConfig();
   eth.cost = CostModel::EthernetDefaults();
   DecoupledClusterSim sim_eth(graph_, eth, std::make_unique<HashStrategy>());
   const double r_eth = sim_eth.Run(queries_).mean_response_ms;
@@ -201,7 +201,7 @@ TEST_F(DecoupledSimTest, RunTwiceIsRejected) {
 }
 
 TEST_F(DecoupledSimTest, TinyCacheStillCorrect) {
-  SimConfig sc = BaseConfig();
+  ClusterConfig sc = BaseConfig();
   sc.processor.cache_bytes = 4096;  // heavy eviction churn
   DecoupledClusterSim sim(graph_, sc, std::make_unique<HashStrategy>());
   auto metrics = sim.Run(queries_);
@@ -213,8 +213,8 @@ TEST_F(DecoupledSimTest, TinyCacheStillCorrect) {
     expected += ExecuteQuery(q, reference).aggregate;
   }
   uint64_t got = 0;
-  for (const auto& r : sim.results()) {
-    got += r.aggregate;
+  for (const auto& a : sim.answers()) {
+    got += a.result.aggregate;
   }
   EXPECT_EQ(got, expected);
 }
