@@ -70,6 +70,11 @@ void PrintHelp() {
       "  --hotspots=<int> --per-hotspot=<int>                 (defaults 100, 10)\n"
       "  --landmarks=<int> --separation=<int> --dims=<int>\n"
       "  --load-factor=<float> --alpha=<float> --no-stealing\n"
+      "  --router-shards=<int>    router frontend shards      (default 1)\n"
+      "  --splitter=round_robin|hash|sticky                   (default round_robin)\n"
+      "  --gossip-period=<µs>     0 disables gossip           (default 200)\n"
+      "  --gossip-weight=<float>  EMA blend weight            (default 0.5)\n"
+      "  --arrival-gap=<µs>       sim inter-arrival gap       (default 0)\n"
       "  --seed=<int>\n");
 }
 
@@ -137,6 +142,21 @@ int main(int argc, char** argv) {
   opts.load_factor = flags.GetDouble("load-factor", 20.0);
   opts.alpha = flags.GetDouble("alpha", 0.5);
   opts.stealing = flags.values.count("no-stealing") == 0;
+  static const std::map<std::string, SplitterKind> kSplitters = {
+      {"round_robin", SplitterKind::kRoundRobin},
+      {"hash", SplitterKind::kHash},
+      {"sticky", SplitterKind::kSticky},
+  };
+  opts.router_shards = static_cast<uint32_t>(flags.GetInt("router-shards", 1));
+  const std::string splitter_name = flags.Get("splitter", "round_robin");
+  if (kSplitters.count(splitter_name) == 0) {
+    std::fprintf(stderr, "unknown --splitter '%s'; see --help\n", splitter_name.c_str());
+    return 1;
+  }
+  opts.splitter = kSplitters.at(splitter_name);
+  opts.gossip_period_us = flags.GetDouble("gossip-period", 200.0);
+  opts.gossip_merge_weight = flags.GetDouble("gossip-weight", 0.5);
+  opts.arrival_gap_us = flags.GetDouble("arrival-gap", 0.0);
 
   const Graph& g = env.graph();
   std::printf("dataset %s (scale %.2f): %zu nodes, %zu edges\n", dataset_name.c_str(),
@@ -160,6 +180,12 @@ int main(int argc, char** argv) {
   t.AddRow({"bytes from storage", Table::Bytes(m.bytes_from_storage)});
   t.AddRow({"storage batches", Table::Int(static_cast<int64_t>(m.storage_batches))});
   t.AddRow({"steals", Table::Int(static_cast<int64_t>(m.steals))});
+  if (opts.router_shards > 1) {
+    t.AddRow({"router shards", Table::Int(static_cast<int64_t>(opts.router_shards)) +
+                                   " (" + SplitterKindName(opts.splitter) + ")"});
+    t.AddRow({"gossip rounds", Table::Int(static_cast<int64_t>(m.gossip_rounds))});
+    t.AddRow({"ema divergence", Table::Num(m.router_ema_divergence, 4)});
+  }
   std::printf("%s", t.ToString().c_str());
   return 0;
 }

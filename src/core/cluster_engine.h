@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "src/frontend/splitter.h"
 #include "src/net/cost_model.h"
 #include "src/proc/processor.h"
 #include "src/query/query.h"
@@ -60,6 +61,19 @@ struct ClusterConfig {
   // Threaded engine: injected one-way network delay per storage batch
   // (busy-wait, µs). 0 = memory speed.
   double injected_network_us = 0.0;
+
+  // --- Router frontend tier (src/frontend/) ---
+  // Shared-nothing router shards fed by the arrival splitter; each owns a
+  // slice of the arrival stream and its own strategy state. 1 = the paper's
+  // single smart router.
+  uint32_t num_router_shards = 1;
+  // How arrivals are split across shards.
+  SplitterKind router_splitter = SplitterKind::kRoundRobin;
+  // Period of the load/EMA gossip between shards (virtual µs on the
+  // simulated engine, wall-clock µs on the threaded one). 0 disables gossip.
+  double gossip_period_us = 200.0;
+  // Blend weight for sibling EMA state at a gossip round, in [0, 1].
+  double gossip_merge_weight = 0.5;
 };
 
 // One metrics struct for either engine. Times are virtual µs for the
@@ -79,6 +93,13 @@ struct ClusterMetrics {
   uint64_t storage_batches = 0;
   uint64_t steals = 0;
   std::vector<uint64_t> queries_per_processor;
+  // Router frontend tier: arrival split across router shards, completed
+  // gossip rounds, and the cross-shard EMA divergence (mean pairwise L2
+  // between shard strategies' state; 0 for stateless strategies) at the end
+  // of the run.
+  std::vector<uint64_t> queries_per_router_shard;
+  uint64_t gossip_rounds = 0;
+  double router_ema_divergence = 0.0;
 
   double CacheHitRate() const {
     const uint64_t total = cache_hits + cache_misses;

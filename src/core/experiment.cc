@@ -108,6 +108,11 @@ ClusterConfig ExperimentEnv::MakeClusterConfig(const RunOptions& options) {
   // cost-model sweeps (Ethernet vs Infiniband) meaningful on real threads.
   config.injected_network_us = options.cost.net.one_way_us;
   config.enable_stealing = options.stealing;
+  config.num_router_shards = options.router_shards;
+  config.router_splitter = options.splitter;
+  config.gossip_period_us = options.gossip_period_us;
+  config.gossip_merge_weight = options.gossip_merge_weight;
+  config.arrival_gap_us = options.arrival_gap_us;
   return config;
 }
 

@@ -49,6 +49,17 @@ struct RunOptions {
   uint64_t cache_bytes = 0;
   CachePolicy cache_policy = CachePolicy::kLru;
   bool stealing = true;
+  // Router frontend tier: shards of the arrival stream, splitter kind, and
+  // the load/EMA gossip between them (see src/frontend/).
+  uint32_t router_shards = 1;
+  SplitterKind splitter = SplitterKind::kRoundRobin;
+  double gossip_period_us = 200.0;
+  double gossip_merge_weight = 0.5;
+  // Simulated engine: inter-arrival gap (µs). The paper's workload is
+  // back-to-back (0); a positive gap interleaves arrivals with execution
+  // and gossip rounds, which is what makes inter-shard gossip observable
+  // in routing decisions.
+  double arrival_gap_us = 0.0;
   double load_factor = PaperDefaults::kLoadFactor;
   double alpha = PaperDefaults::kAlpha;
   size_t dimensions = PaperDefaults::kDimensions;

@@ -26,6 +26,9 @@
 #include "src/core/cluster_engine.h"
 #include "src/core/experiment.h"
 #include "src/embed/embedding.h"
+#include "src/frontend/gossip.h"
+#include "src/frontend/router_fleet.h"
+#include "src/frontend/splitter.h"
 #include "src/graph/generators.h"
 #include "src/graph/graph.h"
 #include "src/graph/graph_stats.h"

@@ -1,0 +1,56 @@
+#include "src/frontend/splitter.h"
+
+#include "src/util/check.h"
+
+namespace grouting {
+
+std::string SplitterKindName(SplitterKind kind) {
+  switch (kind) {
+    case SplitterKind::kRoundRobin:
+      return "round_robin";
+    case SplitterKind::kHash:
+      return "hash";
+    case SplitterKind::kSticky:
+      return "sticky";
+  }
+  return "unknown";
+}
+
+ArrivalSplitter::ArrivalSplitter(SplitterKind kind, uint32_t num_shards,
+                                 uint32_t hash_seed)
+    : kind_(kind), num_shards_(num_shards), hash_seed_(hash_seed) {
+  GROUTING_CHECK(num_shards_ > 0);
+  if (kind_ == SplitterKind::kSticky) {
+    sticky_counts_.assign(num_shards_, 0);
+  }
+}
+
+uint32_t ArrivalSplitter::ShardFor(const Query& q) {
+  if (num_shards_ == 1) {
+    return 0;
+  }
+  switch (kind_) {
+    case SplitterKind::kRoundRobin:
+      return static_cast<uint32_t>(rotor_++ % num_shards_);
+    case SplitterKind::kHash:
+      return static_cast<uint32_t>(Murmur3Hash64(q.node, hash_seed_) % num_shards_);
+    case SplitterKind::kSticky: {
+      auto it = sticky_.find(q.node);
+      if (it == sticky_.end()) {
+        uint32_t least = 0;
+        for (uint32_t s = 1; s < num_shards_; ++s) {
+          if (sticky_counts_[s] < sticky_counts_[least]) {
+            least = s;
+          }
+        }
+        it = sticky_.emplace(q.node, least).first;
+        sticky_counts_[least] += 1;
+      }
+      return it->second;
+    }
+  }
+  GROUTING_CHECK_MSG(false, "unknown splitter kind");
+  return 0;
+}
+
+}  // namespace grouting

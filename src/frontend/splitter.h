@@ -1,0 +1,60 @@
+// Arrival splitter for the sharded router frontend (src/frontend/): decides
+// which RouterShard owns each query of the arrival stream.
+//
+//   * round-robin — perfectly even slices, no affinity,
+//   * hash        — MurmurHash3(query node) mod N: repeats of a node always
+//                   hit the same shard, so that shard's EMA sees them all,
+//   * sticky      — session affinity: the first query for a node picks the
+//                   least-assigned shard and later queries for that node
+//                   stick to it (hotspot runs stay on one shard while the
+//                   assignment stays balanced across hotspots).
+//
+// The splitter is deliberately stateless across runs (deterministic given
+// the arrival order), so the simulated and threaded engines slice one
+// workload identically.
+
+#ifndef GROUTING_SRC_FRONTEND_SPLITTER_H_
+#define GROUTING_SRC_FRONTEND_SPLITTER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/query/query.h"
+#include "src/util/murmur3.h"
+
+namespace grouting {
+
+enum class SplitterKind {
+  kRoundRobin,
+  kHash,
+  kSticky,
+};
+
+std::string SplitterKindName(SplitterKind kind);
+
+class ArrivalSplitter {
+ public:
+  ArrivalSplitter(SplitterKind kind, uint32_t num_shards,
+                  uint32_t hash_seed = 0x7f4a7c15u);
+
+  SplitterKind kind() const { return kind_; }
+  uint32_t num_shards() const { return num_shards_; }
+
+  // Assigns the arrival to a shard in [0, num_shards). Mutates splitter
+  // state (rotor / sticky table), so call it once per arrival, in order.
+  uint32_t ShardFor(const Query& q);
+
+ private:
+  SplitterKind kind_;
+  uint32_t num_shards_;
+  uint32_t hash_seed_;
+  uint64_t rotor_ = 0;
+  std::unordered_map<NodeId, uint32_t> sticky_;
+  std::vector<uint64_t> sticky_counts_;
+};
+
+}  // namespace grouting
+
+#endif  // GROUTING_SRC_FRONTEND_SPLITTER_H_

@@ -11,13 +11,31 @@ Router::Router(std::unique_ptr<RoutingStrategy> strategy, uint32_t num_processor
   GROUTING_CHECK(num_processors_ > 0);
   queues_.resize(num_processors_);
   lengths_.assign(num_processors_, 0);
+  remote_load_.assign(num_processors_, 0);
+  combined_load_.assign(num_processors_, 0);
   stats_.per_processor.assign(num_processors_, 0);
+}
+
+void Router::SetRemoteLoad(std::span<const uint32_t> remote) {
+  GROUTING_CHECK(remote.size() == num_processors_);
+  has_remote_load_ = false;
+  for (uint32_t p = 0; p < num_processors_; ++p) {
+    remote_load_[p] = remote[p];
+    has_remote_load_ |= remote[p] != 0;
+  }
 }
 
 uint32_t Router::Enqueue(const Query& q) {
   RouterContext ctx;
   ctx.num_processors = num_processors_;
-  ctx.queue_lengths = lengths_;
+  if (has_remote_load_) {
+    for (uint32_t p = 0; p < num_processors_; ++p) {
+      combined_load_[p] = lengths_[p] + remote_load_[p];
+    }
+    ctx.queue_lengths = combined_load_;
+  } else {
+    ctx.queue_lengths = lengths_;
+  }
   const uint32_t p = strategy_->Route(q.node, ctx);
   GROUTING_CHECK(p < num_processors_);
   queues_[p].push_back(q);
@@ -58,12 +76,10 @@ std::optional<Query> Router::NextForProcessor(uint32_t p) {
   --pending_;
   ++stats_.dispatched;
   stats_.per_processor[p] += 1;
-  strategy_->OnDispatch(q.node, p);
+  // `source` is the queue the query was routed onto, so the strategy sees
+  // both the executor and the original target (they differ on a steal).
+  strategy_->OnDispatch(q.node, p, source);
   return q;
-}
-
-std::vector<uint32_t> Router::QueueLengths() const {
-  return std::vector<uint32_t>(lengths_.begin(), lengths_.end());
 }
 
 }  // namespace grouting

@@ -15,6 +15,7 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "src/query/query.h"
@@ -50,7 +51,15 @@ class Router {
 
   bool HasPending() const { return pending_ > 0; }
   size_t pending() const { return pending_; }
-  std::vector<uint32_t> QueueLengths() const;
+  // View over the maintained per-processor lengths — valid until the next
+  // Enqueue/NextForProcessor call, never a copy (this is on the hot path).
+  std::span<const uint32_t> QueueLengths() const { return lengths_; }
+
+  // Router sharding (src/frontend/): per-processor queue lengths reported by
+  // sibling router shards at the last gossip round. Added on top of the
+  // local lengths when building the strategy's load context, so a shard
+  // routes against its best estimate of cluster-wide load. Empty = none.
+  void SetRemoteLoad(std::span<const uint32_t> remote);
 
   RoutingStrategy& strategy() { return *strategy_; }
   const RoutingStrategy& strategy() const { return *strategy_; }
@@ -62,6 +71,9 @@ class Router {
   RouterConfig config_;
   std::vector<std::deque<Query>> queues_;
   std::vector<uint32_t> lengths_;
+  std::vector<uint32_t> remote_load_;    // gossip snapshot, zeros when unsharded
+  std::vector<uint32_t> combined_load_;  // scratch: lengths_ + remote_load_
+  bool has_remote_load_ = false;
   size_t pending_ = 0;
   RouterStats stats_;
 };

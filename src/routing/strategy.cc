@@ -119,11 +119,31 @@ uint32_t EmbedStrategy::Route(NodeId query_node, const RouterContext& ctx) {
   return best;
 }
 
-void EmbedStrategy::OnDispatch(NodeId query_node, uint32_t processor) {
-  // EMA updates happen at routing time (see Route); stolen queries are a
-  // deliberate, small distortion the paper accepts for load balancing.
-  (void)query_node;
-  (void)processor;
+void EmbedStrategy::OnDispatch(NodeId query_node, uint32_t processor,
+                               uint32_t routed_processor) {
+  if (processor == routed_processor) {
+    // EMA already updated at routing time (see Route).
+    return;
+  }
+  // Stolen query: the thief's cache — not the routed target's — is the one
+  // being warmed with this neighbourhood, so pull its mean toward the query.
+  // The routed target keeps its route-time update; EMA decay washes that
+  // distortion out, and correcting the thief is what keeps the proxy honest
+  // under sustained stealing.
+  UpdateMean(query_node, processor);
+}
+
+void EmbedStrategy::MergeRemoteState(const RoutingStrategy& remote, double weight) {
+  GROUTING_CHECK(weight >= 0.0 && weight <= 1.0);
+  const auto* other = dynamic_cast<const EmbedStrategy*>(&remote);
+  GROUTING_CHECK_MSG(other != nullptr && other->ema_.size() == ema_.size(),
+                     "EmbedStrategy can only merge state from an equal-shape peer");
+  // Gossip blend: pull this shard's per-processor means toward the sibling's
+  // view. Weight < 1 keeps some local signal so shards converge rather than
+  // oscillate.
+  for (size_t i = 0; i < ema_.size(); ++i) {
+    ema_[i] = (1.0 - weight) * ema_[i] + weight * other->ema_[i];
+  }
 }
 
 void EmbedStrategy::UpdateMean(NodeId query_node, uint32_t processor) {

@@ -43,10 +43,32 @@ class RoutingStrategy {
 
   // Observes the final dispatch decision (post query stealing), letting
   // stateful strategies (Embed's EMA) track actual cache contents.
-  virtual void OnDispatch(NodeId query_node, uint32_t processor) {
+  // `processor` is the executor; `routed_processor` is the one Route chose —
+  // they differ exactly when the query was stolen.
+  virtual void OnDispatch(NodeId query_node, uint32_t processor,
+                          uint32_t routed_processor) {
     (void)query_node;
     (void)processor;
+    (void)routed_processor;
   }
+
+  // Router-sharding hooks (src/frontend/): a RouterFleet gives every shard
+  // its own strategy instance via Clone() and reconciles their adaptive
+  // state at gossip rounds via MergeRemoteState(). Stateless strategies get
+  // the defaults; only Clone() must be overridden to opt a strategy into
+  // sharded frontends (the fleet checks for it when num_shards > 1).
+  virtual std::unique_ptr<RoutingStrategy> Clone() const { return nullptr; }
+
+  // Blends a sibling shard's adaptive state into this one with the given
+  // weight in [0, 1]. No-op for stateless strategies; EMA blend for Embed.
+  virtual void MergeRemoteState(const RoutingStrategy& remote, double weight) {
+    (void)remote;
+    (void)weight;
+  }
+
+  // Flat view of the adaptive state MergeRemoteState reconciles, used by the
+  // fleet's cross-shard divergence metric. Empty for stateless strategies.
+  virtual std::span<const double> GossipState() const { return {}; }
 
   // Virtual-time cost of one routing decision under the cost model.
   virtual SimTimeUs DecisionCostUs(const CostModel& cm, uint32_t num_processors) const {
@@ -60,6 +82,9 @@ class NextReadyStrategy : public RoutingStrategy {
  public:
   std::string name() const override { return "next_ready"; }
   uint32_t Route(NodeId query_node, const RouterContext& ctx) override;
+  std::unique_ptr<RoutingStrategy> Clone() const override {
+    return std::make_unique<NextReadyStrategy>(*this);
+  }
 
  private:
   uint32_t rotor_ = 0;
@@ -73,6 +98,9 @@ class HashStrategy : public RoutingStrategy {
   explicit HashStrategy(uint32_t hash_seed = 0x9747b28cu) : hash_seed_(hash_seed) {}
   std::string name() const override { return "hash"; }
   uint32_t Route(NodeId query_node, const RouterContext& ctx) override;
+  std::unique_ptr<RoutingStrategy> Clone() const override {
+    return std::make_unique<HashStrategy>(*this);
+  }
 
  private:
   uint32_t hash_seed_;
@@ -88,6 +116,10 @@ class LandmarkStrategy : public RoutingStrategy {
   }
   std::string name() const override { return "landmark"; }
   uint32_t Route(NodeId query_node, const RouterContext& ctx) override;
+  std::unique_ptr<RoutingStrategy> Clone() const override {
+    // Shards share the (immutable at routing time) landmark index.
+    return std::make_unique<LandmarkStrategy>(*this);
+  }
 
  private:
   const LandmarkIndex* index_;
@@ -104,7 +136,15 @@ class EmbedStrategy : public RoutingStrategy {
 
   std::string name() const override { return "embed"; }
   uint32_t Route(NodeId query_node, const RouterContext& ctx) override;
-  void OnDispatch(NodeId query_node, uint32_t processor) override;
+  void OnDispatch(NodeId query_node, uint32_t processor,
+                  uint32_t routed_processor) override;
+  std::unique_ptr<RoutingStrategy> Clone() const override {
+    // Clones share the embedding but own their EMA view; fleet shards start
+    // identical and diverge with their arrival slices until gossip re-blends.
+    return std::make_unique<EmbedStrategy>(*this);
+  }
+  void MergeRemoteState(const RoutingStrategy& remote, double weight) override;
+  std::span<const double> GossipState() const override { return ema_; }
   SimTimeUs DecisionCostUs(const CostModel& cm, uint32_t num_processors) const override;
 
   std::span<const double> MeanCoordinates(uint32_t processor) const {

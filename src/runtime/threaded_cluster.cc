@@ -26,8 +26,20 @@ double ElapsedUs(std::chrono::steady_clock::time_point from,
 ThreadedCluster::ThreadedCluster(const Graph& graph, const ClusterConfig& config,
                                  std::unique_ptr<RoutingStrategy> strategy,
                                  const PartitionAssignment* placement)
-    : ClusterEngine(graph, config, placement), strategy_(std::move(strategy)) {
-  GROUTING_CHECK(strategy_ != nullptr);
+    : ClusterEngine(graph, config, placement) {
+  GROUTING_CHECK(strategy != nullptr);
+  shards_.reserve(config_.num_router_shards);
+  for (uint32_t s = 1; s < config_.num_router_shards; ++s) {
+    auto clone = strategy->Clone();
+    GROUTING_CHECK_MSG(clone != nullptr,
+                       "num_router_shards > 1 requires a Clone()-able strategy");
+    auto shard = std::make_unique<RouterShard>();
+    shard->strategy = std::move(clone);
+    shards_.push_back(std::move(shard));
+  }
+  auto shard0 = std::make_unique<RouterShard>();
+  shard0->strategy = std::move(strategy);
+  shards_.insert(shards_.begin(), std::move(shard0));
   for (uint32_t p = 0; p < config_.num_processors; ++p) {
     channels_.push_back(std::make_unique<MpmcQueue<Routed>>());
   }
@@ -36,8 +48,17 @@ ThreadedCluster::ThreadedCluster(const Graph& graph, const ClusterConfig& config
 
 ThreadedCluster::~ThreadedCluster() {
   shutdown_.store(true, std::memory_order_release);
+  gossip_stop_.store(true, std::memory_order_release);
   for (auto& ch : channels_) {
     ch->Close();
+  }
+  for (auto& t : router_threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  if (gossip_thread_.joinable()) {
+    gossip_thread_.join();
   }
   for (auto& t : threads_) {
     if (t.joinable()) {
@@ -74,6 +95,61 @@ bool ThreadedCluster::StealInto(uint32_t thief, Routed* out) {
   return true;
 }
 
+void ThreadedCluster::RouterShardLoop(uint32_t shard, std::span<const Query> slice) {
+  RouterShard& rs = *shards_[shard];
+  std::vector<uint32_t> lengths(config_.num_processors, 0);
+  RouterContext ctx;
+  ctx.num_processors = config_.num_processors;
+  for (const Query& q : slice) {
+    // Live channel lengths are the shared load signal: unlike the simulated
+    // shards (which see only their own queues between gossip rounds), real
+    // shards share the processor channels and read their depth directly.
+    for (uint32_t p = 0; p < config_.num_processors; ++p) {
+      lengths[p] = static_cast<uint32_t>(channels_[p]->Size());
+    }
+    ctx.queue_lengths = lengths;
+    uint32_t target;
+    {
+      std::lock_guard<std::mutex> lock(rs.mu);
+      target = rs.strategy->Route(q.node, ctx);
+    }
+    GROUTING_CHECK(target < config_.num_processors);
+    rs.routed += 1;
+    channels_[target]->Push(Routed{q, Clock::now(), shard, target});
+  }
+}
+
+void ThreadedCluster::GossipLoop() {
+  const auto period =
+      std::chrono::duration<double, std::micro>(config_.gossip_period_us);
+  std::vector<RoutingStrategy*> views;
+  std::vector<const RoutingStrategy*> const_views;
+  views.reserve(shards_.size());
+  const_views.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    views.push_back(shard->strategy.get());
+    const_views.push_back(shard->strategy.get());
+  }
+  while (!gossip_stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(period);
+    if (gossip_stop_.load(std::memory_order_acquire)) {
+      break;
+    }
+    // One tick: take every shard's mutex (fixed order — other threads only
+    // ever hold one at a time, so no deadlock) and run the SAME blend the
+    // sim fleet runs, so the two engines' gossip semantics cannot drift.
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(shards_.size());
+    for (auto& shard : shards_) {
+      locks.emplace_back(shard->mu);
+    }
+    gossip_stats_.last_divergence_before = CrossShardStateDivergence(const_views);
+    GossipBlendStrategies(views, config_.gossip_merge_weight);
+    gossip_stats_.last_divergence_after = CrossShardStateDivergence(const_views);
+    gossip_stats_.rounds += 1;
+  }
+}
+
 void ThreadedCluster::ProcessorLoop(uint32_t p) {
   LatencySamples& samples = samples_[p];
   while (!shutdown_.load(std::memory_order_acquire) &&
@@ -88,6 +164,16 @@ void ThreadedCluster::ProcessorLoop(uint32_t p) {
     }
     const auto dispatched = Clock::now();
     samples.queue_wait_us.Add(ElapsedUs(routed.routed_at, dispatched));
+    {
+      // Dispatch feedback to the shard that routed this query: on a steal
+      // (p != routed.target) the strategy learns the thief's cache is the
+      // one actually being warmed. The hook fires for EVERY dispatch (the
+      // contract tests/frontend_test.cc pins down); the mostly-uncontended
+      // lock is nanoseconds against the microseconds each query costs.
+      RouterShard& rs = *shards_[routed.shard];
+      std::lock_guard<std::mutex> lock(rs.mu);
+      rs.strategy->OnDispatch(routed.query.node, p, routed.target);
+    }
     QueryResult result = processors_[p]->Execute(routed.query);
     if (config_.injected_network_us > 0.0) {
       // Two one-way hops per storage batch of the query just executed.
@@ -106,26 +192,35 @@ ClusterMetrics ThreadedCluster::Run(std::span<const Query> queries) {
   answers_.reserve(queries.size());
   remaining_.store(queries.size(), std::memory_order_release);
 
+  // Cut the arrival stream into per-shard slices (deterministic in arrival
+  // order, same cut the simulated engine's fleet makes).
+  const uint32_t num_shards = static_cast<uint32_t>(shards_.size());
+  ArrivalSplitter splitter(config_.router_splitter, num_shards);
+  std::vector<std::vector<Query>> slices(num_shards);
+  for (const Query& q : queries) {
+    slices[splitter.ShardFor(q)].push_back(q);
+  }
+
+  // Only spawn the gossip tick when there is state to gossip: unlike the
+  // simulated fleet (whose rounds also refresh remote-load views), real
+  // shards read live channel lengths, so stateless strategies would pay
+  // the per-tick locks and clones for a guaranteed no-op. Decided before
+  // any thread can touch the strategies.
+  const bool gossip = num_shards > 1 && config_.gossip_period_us > 0.0 &&
+                      !shards_[0]->strategy->GossipState().empty();
+
   const auto start = Clock::now();
   threads_.reserve(config_.num_processors);
   for (uint32_t p = 0; p < config_.num_processors; ++p) {
     threads_.emplace_back([this, p] { ProcessorLoop(p); });
   }
-
-  // This thread is the router: route every arrival using live channel
-  // lengths as the load signal.
-  std::vector<uint32_t> lengths(config_.num_processors, 0);
-  RouterContext ctx;
-  ctx.num_processors = config_.num_processors;
-  for (const Query& q : queries) {
-    for (uint32_t p = 0; p < config_.num_processors; ++p) {
-      lengths[p] = static_cast<uint32_t>(channels_[p]->Size());
-    }
-    ctx.queue_lengths = lengths;
-    const uint32_t target = strategy_->Route(q.node, ctx);
-    GROUTING_CHECK(target < config_.num_processors);
-    strategy_->OnDispatch(q.node, target);
-    channels_[target]->Push(Routed{q, Clock::now()});
+  router_threads_.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    router_threads_.emplace_back(
+        [this, s, &slices] { RouterShardLoop(s, slices[s]); });
+  }
+  if (gossip) {
+    gossip_thread_ = std::thread([this] { GossipLoop(); });
   }
 
   // Wait for completion, collecting answers as they arrive.
@@ -138,6 +233,14 @@ ClusterMetrics ThreadedCluster::Run(std::span<const Query> queries) {
   }
   const auto end = Clock::now();
 
+  for (auto& t : router_threads_) {
+    t.join();
+  }
+  router_threads_.clear();
+  gossip_stop_.store(true, std::memory_order_release);
+  if (gossip_thread_.joinable()) {
+    gossip_thread_.join();
+  }
   shutdown_.store(true, std::memory_order_release);
   for (auto& t : threads_) {
     t.join();
@@ -161,6 +264,15 @@ ClusterMetrics ThreadedCluster::Run(std::span<const Query> queries) {
   FillLatencyStats(&m, std::move(response_us), queue_wait_us);
   AddProcessorStats(&m);
   m.steals = steals_.load(std::memory_order_relaxed);
+  m.queries_per_router_shard.assign(num_shards, 0);
+  std::vector<const RoutingStrategy*> views;
+  views.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    m.queries_per_router_shard[s] = shards_[s]->routed;
+    views.push_back(shards_[s]->strategy.get());
+  }
+  m.gossip_rounds = gossip_stats_.rounds;
+  m.router_ema_divergence = CrossShardStateDivergence(views);
   return m;
 }
 

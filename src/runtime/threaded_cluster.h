@@ -2,10 +2,15 @@
 // SAME strategies, caches, executors and storage tier as the simulator —
 // but on actual threads with actual concurrency:
 //
-//   router thread  : routes arrivals onto per-processor channels using live
-//                    queue lengths as load,
+//   N router-shard threads : each routes its slice of the arrival stream
+//                    (cut by the ArrivalSplitter) onto per-processor
+//                    channels with its OWN strategy instance, using live
+//                    channel lengths as load,
+//   gossip thread  : when sharded, periodically blends the shards' EMA
+//                    state (mutex-light: one short lock per shard per tick),
 //   P processor threads : drain their channel; when empty they STEAL from
-//                    the longest sibling channel,
+//                    the longest sibling channel; every dispatch is fed
+//                    back to the routing shard's strategy (steal-aware),
 //   storage tier   : shared, internally synchronised per server.
 //
 // The simulator answers "what would the paper's cluster do"; this runtime
@@ -25,11 +30,14 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
 
 #include "src/core/cluster_engine.h"
+#include "src/frontend/gossip.h"
+#include "src/frontend/splitter.h"
 #include "src/util/mpmc_queue.h"
 
 namespace grouting {
@@ -51,10 +59,13 @@ class ThreadedCluster : public ClusterEngine {
   using Clock = std::chrono::steady_clock;
 
   // A query travelling through a processor channel, stamped at routing time
-  // so the dispatching processor can account the queue wait.
+  // so the dispatching processor can account the queue wait and feed the
+  // dispatch decision back to the shard that routed it.
   struct Routed {
     Query query;
     Clock::time_point routed_at;
+    uint32_t shard = 0;   // router shard that routed it
+    uint32_t target = 0;  // processor the shard chose (pre-stealing)
   };
 
   // Per-processor latency samples (µs), written only by the owning thread
@@ -65,17 +76,31 @@ class ThreadedCluster : public ClusterEngine {
     RunningStat queue_wait_us;
   };
 
+  void RouterShardLoop(uint32_t shard, std::span<const Query> slice);
+  void GossipLoop();
   void ProcessorLoop(uint32_t p);
   bool StealInto(uint32_t thief, Routed* out);
 
-  std::unique_ptr<RoutingStrategy> strategy_;
+  // One router shard: its own strategy instance behind its own mutex. The
+  // mutex is uncontended outside gossip ticks and steal feedback.
+  struct RouterShard {
+    std::unique_ptr<RoutingStrategy> strategy;
+    std::mutex mu;
+    uint64_t routed = 0;  // written by the owning shard thread only
+  };
+
+  std::vector<std::unique_ptr<RouterShard>> shards_;
   std::vector<std::unique_ptr<MpmcQueue<Routed>>> channels_;
   std::vector<LatencySamples> samples_;
   std::atomic<uint64_t> steals_{0};
   std::atomic<uint64_t> remaining_{0};
   MpmcQueue<AnsweredQuery> completions_;
   std::vector<std::thread> threads_;
+  std::vector<std::thread> router_threads_;
+  std::thread gossip_thread_;
   std::atomic<bool> shutdown_{false};
+  std::atomic<bool> gossip_stop_{false};
+  GossipStats gossip_stats_;  // written by the gossip thread, read post-join
 };
 
 }  // namespace grouting

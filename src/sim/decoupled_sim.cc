@@ -10,9 +10,13 @@ DecoupledClusterSim::DecoupledClusterSim(const Graph& graph, const ClusterConfig
                                          std::unique_ptr<RoutingStrategy> strategy,
                                          const PartitionAssignment* placement)
     : ClusterEngine(graph, config, placement) {
-  RouterConfig rc;
-  rc.enable_stealing = config_.enable_stealing;
-  router_ = std::make_unique<Router>(std::move(strategy), config_.num_processors, rc);
+  FleetConfig fc;
+  fc.num_shards = config_.num_router_shards;
+  fc.splitter = config_.router_splitter;
+  fc.router.enable_stealing = config_.enable_stealing;
+  fc.gossip.period_us = config_.gossip_period_us;
+  fc.gossip.merge_weight = config_.gossip_merge_weight;
+  fleet_ = std::make_unique<RouterFleet>(std::move(strategy), config_.num_processors, fc);
   in_flight_.resize(config_.num_processors);
   processor_idle_.assign(config_.num_processors, 1);
   server_busy_until_.assign(config_.num_storage_servers, 0.0);
@@ -26,14 +30,15 @@ ClusterMetrics DecoupledClusterSim::Run(std::span<const Query> queries) {
   std::unordered_map<uint64_t, SimTimeUs> arrival_time;
   arrival_time.reserve(queries.size());
 
-  // Arrivals: the paper's router receives the stream and routes each query
-  // on arrival; dispatch to a processor happens on that processor's ack.
+  // Arrivals: the splitter hands each query of the stream to its router
+  // shard, which routes it on arrival; dispatch to a processor happens on
+  // that processor's ack.
   for (size_t i = 0; i < queries.size(); ++i) {
     const Query q = queries[i];
     const SimTimeUs t = config_.arrival_gap_us * static_cast<double>(i);
     events_.ScheduleAt(t, [this, q, &arrival_time] {
       arrival_time[q.id] = events_.now();
-      const uint32_t preferred = router_->Enqueue(q);
+      const uint32_t preferred = fleet_->Enqueue(q).processor;
       if (processor_idle_[preferred]) {
         TryDispatch(preferred);
         return;
@@ -57,26 +62,45 @@ ClusterMetrics DecoupledClusterSim::Run(std::span<const Query> queries) {
     }
   };
 
+  // Load/EMA gossip between router shards, as recurring virtual-time events.
+  if (fleet_->gossip_enabled()) {
+    events_.ScheduleAt(fleet_->config().gossip.period_us,
+                       [this, total = queries.size()] { GossipTick(total); });
+  }
+
   events_.RunUntilEmpty(/*max_events=*/2'000'000'000ULL);
   dispatch_wait_hook_ = nullptr;
 
   ClusterMetrics m;
   m.queries = answers_.size();
-  m.makespan_us = events_.now();
+  m.makespan_us = last_ack_us_;
   m.throughput_qps =
       m.makespan_us > 0.0 ? static_cast<double>(m.queries) / (m.makespan_us / 1e6) : 0.0;
   FillLatencyStats(&m, std::move(response_samples_us_), queue_wait_us_);
   AddProcessorStats(&m);
-  m.steals = router_->stats().steals;
-  m.queries_per_processor = router_->stats().per_processor;
+  const RouterStats router_stats = fleet_->AggregateRouterStats();
+  m.steals = router_stats.steals;
+  m.queries_per_processor = router_stats.per_processor;
+  m.queries_per_router_shard = fleet_->RoutedPerShard();
+  m.gossip_rounds = fleet_->gossip_stats().rounds;
+  m.router_ema_divergence = fleet_->CurrentEmaDivergence();
   return m;
+}
+
+void DecoupledClusterSim::GossipTick(size_t total_queries) {
+  if (answers_.size() >= total_queries) {
+    return;  // run drained: stop the gossip chain
+  }
+  fleet_->GossipRound();
+  events_.ScheduleAfter(fleet_->config().gossip.period_us,
+                        [this, total_queries] { GossipTick(total_queries); });
 }
 
 void DecoupledClusterSim::TryDispatch(uint32_t p) {
   if (!processor_idle_[p]) {
     return;
   }
-  auto next = router_->NextForProcessor(p);
+  auto next = fleet_->NextForProcessor(p);
   if (!next.has_value()) {
     processor_idle_[p] = 1;
     return;
@@ -96,9 +120,10 @@ void DecoupledClusterSim::TryDispatch(uint32_t p) {
   f.result = processors_[p]->Execute(f.query);
   f.trace = processors_[p]->last_trace();
 
-  // Router decision + query shipping to the processor.
+  // Router decision + query shipping to the processor. All shards run the
+  // same strategy type, so shard 0's decision cost stands in for the fleet.
   const SimTimeUs start_delay =
-      router_->strategy().DecisionCostUs(config_.cost, config_.num_processors) +
+      fleet_->shard(0).strategy().DecisionCostUs(config_.cost, config_.num_processors) +
       config_.cost.net.one_way_us;
   events_.ScheduleAfter(start_delay, [this, p] { AdvanceLevel(p); });
 }
@@ -113,7 +138,9 @@ void DecoupledClusterSim::AdvanceLevel(uint32_t p) {
     const SimTimeUs response = events_.now() - f.dispatch_time;
     response_samples_us_.push_back(response);
     answers_.push_back(AnsweredQuery{f.query.id, p, f.result});
-    events_.ScheduleAfter(config_.cost.net.one_way_us, [this, p] {
+    const SimTimeUs ack = events_.now() + config_.cost.net.one_way_us;
+    last_ack_us_ = std::max(last_ack_us_, ack);
+    events_.ScheduleAt(ack, [this, p] {
       processor_idle_[p] = 1;
       TryDispatch(p);
     });

@@ -1,9 +1,9 @@
 // Discrete-event simulation of the decoupled gRouting cluster:
 //
-//     arrivals -> Router (strategy + stealing) -> P query processors
-//                                                   |  miss batches
-//                                                   v
-//                                       M storage servers (FIFO queues)
+//     arrivals -> RouterFleet (N shards: strategy + stealing) -> P processors
+//                     ^  gossip events                             |  miss
+//                     |  (load/EMA, virtual time)                  v  batches
+//                     +----------------------------- M storage servers (FIFO)
 //
 // Each query executes FUNCTIONALLY at dispatch (real cache state, real
 // traversal, real storage lookups) producing a FetchTrace; the trace is then
@@ -27,7 +27,7 @@
 #include <vector>
 
 #include "src/core/cluster_engine.h"
-#include "src/routing/router.h"
+#include "src/frontend/router_fleet.h"
 #include "src/sim/event_queue.h"
 
 namespace grouting {
@@ -46,13 +46,17 @@ class DecoupledClusterSim : public ClusterEngine {
   // May be called once per instance.
   ClusterMetrics Run(std::span<const Query> queries) override;
 
-  Router& router() { return *router_; }
+  RouterFleet& fleet() { return *fleet_; }
+  // The classic single-router view (shard 0) — fleet().shard(s) for others.
+  Router& router() { return fleet_->shard(0); }
 
  private:
-  // Asks the router for work for processor p; begins execution or idles.
+  // Asks the router fleet for work for processor p; begins execution or idles.
   void TryDispatch(uint32_t p);
   // Advances the in-flight query on processor p to its next traversal level.
   void AdvanceLevel(uint32_t p);
+  // Self-rescheduling load/EMA gossip event (stops once the run drains).
+  void GossipTick(size_t total_queries);
 
   struct InFlight {
     Query query;
@@ -68,12 +72,15 @@ class DecoupledClusterSim : public ClusterEngine {
 
   EventQueue events_;
   std::function<void(const Query&)> dispatch_wait_hook_;
-  std::unique_ptr<Router> router_;
+  std::unique_ptr<RouterFleet> fleet_;
   std::vector<InFlight> in_flight_;  // per processor
   std::vector<uint8_t> processor_idle_;
   std::vector<SimTimeUs> server_busy_until_;
   RunningStat queue_wait_us_;
   std::vector<double> response_samples_us_;
+  // Time of the last completion ack back at the router: the run's makespan.
+  // Tracked explicitly so trailing gossip events cannot inflate it.
+  SimTimeUs last_ack_us_ = 0.0;
 };
 
 }  // namespace grouting

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "src/graph/generators.h"
@@ -154,6 +155,84 @@ TEST_F(SmartRoutingFixture, EmbedFallsBackForUnembeddedNode) {
   EXPECT_EQ(s.Route(9999999, Ctx(lengths)), 1u);
 }
 
+TEST_F(SmartRoutingFixture, EmbedOnDispatchPullsStealersMeanTowardQuery) {
+  EmbedStrategy s(embedding_.get(), 0.5, 20.0, 4);
+  const NodeId u = 0;
+  const uint32_t thief = 2;
+  const std::vector<double> before(s.MeanCoordinates(thief).begin(),
+                                   s.MeanCoordinates(thief).end());
+  // Dispatch to the routed target is a no-op (Route already updated it)...
+  s.OnDispatch(u, 1, 1);
+  // ...but a steal pulls the THIEF's mean toward the query's coordinates.
+  s.OnDispatch(u, thief, 1);
+  const std::vector<double> after(s.MeanCoordinates(thief).begin(),
+                                  s.MeanCoordinates(thief).end());
+  EXPECT_LT(embedding_->DistanceToPoint(u, after),
+            embedding_->DistanceToPoint(u, before));
+}
+
+TEST_F(SmartRoutingFixture, CloneGivesIndependentEmaState) {
+  EmbedStrategy s(embedding_.get(), 0.5, 20.0, 4);
+  auto clone = s.Clone();
+  ASSERT_NE(clone, nullptr);
+  // Clones start with identical state...
+  ASSERT_EQ(clone->GossipState().size(), s.GossipState().size());
+  for (size_t i = 0; i < s.GossipState().size(); ++i) {
+    EXPECT_DOUBLE_EQ(clone->GossipState()[i], s.GossipState()[i]);
+  }
+  // ...and diverge independently once only one of them routes.
+  std::vector<uint32_t> lengths(4, 0);
+  s.Route(0, Ctx(lengths));
+  bool diverged = false;
+  for (size_t i = 0; i < s.GossipState().size(); ++i) {
+    diverged |= clone->GossipState()[i] != s.GossipState()[i];
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST_F(SmartRoutingFixture, MergeRemoteStateBlendsEma) {
+  EmbedStrategy a(embedding_.get(), 0.5, 20.0, 4);
+  auto b = a.Clone();
+  std::vector<uint32_t> lengths(4, 0);
+  for (NodeId u : {0u, 1u, 20u, 399u, 398u, 379u}) {
+    a.Route(u, Ctx(lengths));
+  }
+  // Full weight copies the remote state exactly; weight 0 is a no-op.
+  auto c = b->Clone();
+  c->MergeRemoteState(a, 1.0);
+  for (size_t i = 0; i < a.GossipState().size(); ++i) {
+    EXPECT_DOUBLE_EQ(c->GossipState()[i], a.GossipState()[i]);
+  }
+  auto d = b->Clone();
+  d->MergeRemoteState(a, 0.0);
+  for (size_t i = 0; i < b->GossipState().size(); ++i) {
+    EXPECT_DOUBLE_EQ(d->GossipState()[i], b->GossipState()[i]);
+  }
+  // A partial blend lands strictly between the two endpoints.
+  b->MergeRemoteState(a, 0.5);
+  for (size_t i = 0; i < a.GossipState().size(); ++i) {
+    const double lo = std::min(a.GossipState()[i], d->GossipState()[i]);
+    const double hi = std::max(a.GossipState()[i], d->GossipState()[i]);
+    EXPECT_GE(b->GossipState()[i], lo - 1e-12);
+    EXPECT_LE(b->GossipState()[i], hi + 1e-12);
+  }
+}
+
+TEST_F(SmartRoutingFixture, StatelessStrategiesHaveEmptyGossipState) {
+  NextReadyStrategy nr;
+  HashStrategy h;
+  LandmarkStrategy lm(index_.get(), 20.0);
+  EXPECT_TRUE(nr.GossipState().empty());
+  EXPECT_TRUE(h.GossipState().empty());
+  EXPECT_TRUE(lm.GossipState().empty());
+  // Their clones route identically to the originals.
+  auto h2 = h.Clone();
+  std::vector<uint32_t> lengths(4, 0);
+  for (NodeId u = 0; u < 64; ++u) {
+    EXPECT_EQ(h2->Route(u, Ctx(lengths)), h.Route(u, Ctx(lengths)));
+  }
+}
+
 TEST_F(SmartRoutingFixture, DecisionCostGrowsWithDimensions) {
   const CostModel cm;
   EmbedStrategy s(embedding_.get(), 0.5, 20.0, 4);
@@ -213,6 +292,32 @@ TEST(RouterTest, StealingFromLongestQueue) {
   // The oldest query is stolen (head-of-line fairness).
   EXPECT_EQ(stolen->id, 0u);
   EXPECT_EQ(router.pending(), 5u);
+}
+
+TEST(RouterTest, StealDispatchReportsThiefToStrategy) {
+  // The strategy must observe the STEALING processor as the dispatch target
+  // (and the routed one separately), so EMA-style state can track the cache
+  // that is actually being warmed.
+  class SpyPinStrategy : public RoutingStrategy {
+   public:
+    std::string name() const override { return "spy_pin"; }
+    uint32_t Route(NodeId, const RouterContext&) override { return 0; }
+    void OnDispatch(NodeId, uint32_t processor, uint32_t routed) override {
+      dispatches.push_back({processor, routed});
+    }
+    std::vector<std::pair<uint32_t, uint32_t>> dispatches;
+  };
+  auto spy = std::make_unique<SpyPinStrategy>();
+  SpyPinStrategy* view = spy.get();
+  Router router(std::move(spy), 3);
+  router.Enqueue(Q(1, 0));
+  router.Enqueue(Q(2, 1));
+
+  ASSERT_TRUE(router.NextForProcessor(0).has_value());  // own queue
+  ASSERT_TRUE(router.NextForProcessor(2).has_value());  // stolen from 0
+  ASSERT_EQ(view->dispatches.size(), 2u);
+  EXPECT_EQ(view->dispatches[0], (std::pair<uint32_t, uint32_t>{0, 0}));
+  EXPECT_EQ(view->dispatches[1], (std::pair<uint32_t, uint32_t>{2, 0}));
 }
 
 TEST(RouterTest, StealingDisabled) {
