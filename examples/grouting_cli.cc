@@ -71,9 +71,13 @@ void PrintHelp() {
       "  --landmarks=<int> --separation=<int> --dims=<int>\n"
       "  --load-factor=<float> --alpha=<float> --no-stealing\n"
       "  --router-shards=<int>    router frontend shards      (default 1)\n"
-      "  --splitter=round_robin|hash|sticky                   (default round_robin)\n"
+      "  --splitter=round_robin|hash|sticky|adaptive          (default round_robin)\n"
       "  --gossip-period=<µs>     0 disables gossip           (default 200)\n"
       "  --gossip-weight=<float>  EMA blend weight            (default 0.5)\n"
+      "  --rebalance-threshold=<ratio>  adaptive splitter migration trigger\n"
+      "                           (max/min routed load; <=1 disables, default 0)\n"
+      "  --migration-cap=<int>    sessions moved per rebalance round (default 8)\n"
+      "  --session-capacity=<int> sticky/adaptive session bound (default 65536)\n"
       "  --arrival-gap=<µs>       sim inter-arrival gap       (default 0)\n"
       "  --seed=<int>\n");
 }
@@ -146,6 +150,7 @@ int main(int argc, char** argv) {
       {"round_robin", SplitterKind::kRoundRobin},
       {"hash", SplitterKind::kHash},
       {"sticky", SplitterKind::kSticky},
+      {"adaptive", SplitterKind::kAdaptive},
   };
   opts.router_shards = static_cast<uint32_t>(flags.GetInt("router-shards", 1));
   const std::string splitter_name = flags.Get("splitter", "round_robin");
@@ -156,6 +161,10 @@ int main(int argc, char** argv) {
   opts.splitter = kSplitters.at(splitter_name);
   opts.gossip_period_us = flags.GetDouble("gossip-period", 200.0);
   opts.gossip_merge_weight = flags.GetDouble("gossip-weight", 0.5);
+  opts.rebalance_threshold = flags.GetDouble("rebalance-threshold", 0.0);
+  opts.migration_cap = static_cast<uint32_t>(flags.GetInt("migration-cap", 8));
+  opts.session_capacity =
+      static_cast<uint32_t>(flags.GetInt("session-capacity", 1 << 16));
   opts.arrival_gap_us = flags.GetDouble("arrival-gap", 0.0);
 
   const Graph& g = env.graph();
@@ -185,6 +194,13 @@ int main(int argc, char** argv) {
                                    " (" + SplitterKindName(opts.splitter) + ")"});
     t.AddRow({"gossip rounds", Table::Int(static_cast<int64_t>(m.gossip_rounds))});
     t.AddRow({"ema divergence", Table::Num(m.router_ema_divergence, 4)});
+    t.AddRow({"load imbalance", Table::Num(m.router_load_imbalance, 2) + " max/min"});
+    t.AddRow({"sessions migrated",
+              Table::Int(static_cast<int64_t>(m.sessions_migrated))});
+    if (m.sticky_evictions > 0) {
+      t.AddRow({"session evictions",
+                Table::Int(static_cast<int64_t>(m.sticky_evictions))});
+    }
   }
   std::printf("%s", t.ToString().c_str());
   return 0;

@@ -26,6 +26,7 @@ ClusterEngine::ClusterEngine(const Graph& graph, const ClusterConfig& config,
   GROUTING_CHECK(config_.num_router_shards > 0);
   GROUTING_CHECK(config_.gossip_merge_weight >= 0.0 &&
                  config_.gossip_merge_weight <= 1.0);
+  GROUTING_CHECK(config_.router_session_capacity > 0);
   storage_ = std::make_unique<StorageTier>(config_.num_storage_servers);
   if (placement != nullptr) {
     storage_->LoadGraph(graph, *placement);

@@ -55,8 +55,9 @@ struct ClusterConfig {
   // Virtual-time cost model. Drives the simulated engine; the threaded
   // engine runs at memory speed and only honours injected_network_us.
   CostModel cost = CostModel::InfinibandDefaults();
-  // Simulated engine: inter-arrival gap between queries at the router (µs);
-  // the paper sends queries back to back.
+  // Inter-arrival gap between queries at the router (µs); the paper sends
+  // queries back to back. The simulated engine schedules arrivals in
+  // virtual time; the threaded engine paces its feeder thread in wall time.
   double arrival_gap_us = 0.0;
   // Threaded engine: injected one-way network delay per storage batch
   // (busy-wait, µs). 0 = memory speed.
@@ -74,6 +75,19 @@ struct ClusterConfig {
   double gossip_period_us = 200.0;
   // Blend weight for sibling EMA state at a gossip round, in [0, 1].
   double gossip_merge_weight = 0.5;
+  // Adaptive arrival re-splitting (router_splitter == kAdaptive): at each
+  // gossip round, migrate hot sessions from the most- to the least-loaded
+  // shard once the max/min routed-load ratio exceeds this threshold. <= 1
+  // (or infinity) disables migration — kAdaptive then behaves exactly like
+  // kSticky. Requires gossip_period_us > 0 (rebalance rides the gossip
+  // round).
+  double router_rebalance_threshold = 0.0;
+  // At most this many sessions migrate per rebalance round (anti-thrash cap,
+  // paired with a 0.9-of-threshold hysteresis water mark).
+  uint32_t router_migration_cap = 8;
+  // Bound on the sticky/adaptive splitter's session table; the oldest
+  // session is evicted FIFO beyond it (ClusterMetrics::sticky_evictions).
+  uint32_t router_session_capacity = 1u << 16;
 };
 
 // One metrics struct for either engine. Times are virtual µs for the
@@ -100,6 +114,13 @@ struct ClusterMetrics {
   std::vector<uint64_t> queries_per_router_shard;
   uint64_t gossip_rounds = 0;
   double router_ema_divergence = 0.0;
+  // Adaptive re-splitting: sessions moved between router shards over the
+  // run, sessions dropped at the splitter's capacity bound, and the final
+  // max/min routed-load ratio across shards (1.0 = perfectly balanced or a
+  // single shard).
+  uint64_t sessions_migrated = 0;
+  uint64_t sticky_evictions = 0;
+  double router_load_imbalance = 0.0;
 
   double CacheHitRate() const {
     const uint64_t total = cache_hits + cache_misses;

@@ -66,6 +66,17 @@ std::vector<Query> ExperimentEnv::HotspotWorkload(int32_t r, int32_t h, size_t h
   return GenerateHotspotWorkload(graph(), config);
 }
 
+std::vector<Query> ExperimentEnv::SkewedWorkload(size_t sessions, size_t queries,
+                                                 double zipf_s, int32_t h) {
+  SkewedWorkloadConfig config;
+  config.num_sessions = sessions;
+  config.num_queries = queries;
+  config.zipf_s = zipf_s;
+  config.hops = h;
+  config.seed = seed_ ^ 0x55;
+  return GenerateSkewedSessionWorkload(graph(), config);
+}
+
 uint64_t ExperimentEnv::AmpleCacheBytes() {
   if (!ample_cache_.has_value()) {
     ample_cache_ = graph().TotalAdjacencyBytes() + (16u << 20);
@@ -112,6 +123,9 @@ ClusterConfig ExperimentEnv::MakeClusterConfig(const RunOptions& options) {
   config.router_splitter = options.splitter;
   config.gossip_period_us = options.gossip_period_us;
   config.gossip_merge_weight = options.gossip_merge_weight;
+  config.router_rebalance_threshold = options.rebalance_threshold;
+  config.router_migration_cap = options.migration_cap;
+  config.router_session_capacity = options.session_capacity;
   config.arrival_gap_us = options.arrival_gap_us;
   return config;
 }

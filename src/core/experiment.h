@@ -55,6 +55,12 @@ struct RunOptions {
   SplitterKind splitter = SplitterKind::kRoundRobin;
   double gossip_period_us = 200.0;
   double gossip_merge_weight = 0.5;
+  // Adaptive arrival re-splitting (splitter == kAdaptive): migration trigger
+  // ratio (<= 1 disables — adaptive then equals sticky), per-round session
+  // cap, and the sticky/adaptive session-table bound.
+  double rebalance_threshold = 0.0;
+  uint32_t migration_cap = 8;
+  uint32_t session_capacity = 1u << 16;
   // Simulated engine: inter-arrival gap (µs). The paper's workload is
   // back-to-back (0); a positive gap interleaves arrivals with execution
   // and gossip rounds, which is what makes inter-shard gossip observable
@@ -95,6 +101,11 @@ class ExperimentEnv {
   std::vector<Query> HotspotWorkload(int32_t r = 2, int32_t h = 2,
                                      size_t hotspots = PaperDefaults::kHotspots,
                                      size_t per_hotspot = PaperDefaults::kQueriesPerHotspot);
+
+  // Zipf-skewed session stream for this graph (deterministic in the env
+  // seed): the arrival pattern adaptive re-splitting is measured against.
+  std::vector<Query> SkewedWorkload(size_t sessions, size_t queries, double zipf_s,
+                                    int32_t h = 2);
 
   // Cache size at which nothing is ever evicted (the "4 GB" setting).
   uint64_t AmpleCacheBytes();

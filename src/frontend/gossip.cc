@@ -1,7 +1,9 @@
 #include "src/frontend/gossip.h"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/util/check.h"
@@ -71,6 +73,25 @@ void GossipBlendStrategies(std::span<RoutingStrategy* const> shards,
         ++k;
       }
     }
+  }
+}
+
+void ApplyMigrationCarry(std::span<RoutingStrategy* const> shards,
+                         std::span<const SessionMigration> migrations,
+                         double weight) {
+  if (migrations.empty() || weight <= 0.0) {
+    return;
+  }
+  GROUTING_CHECK(weight <= 1.0);
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;  // tiny: linear dedupe
+  for (const SessionMigration& m : migrations) {
+    const auto pair = std::make_pair(m.from, m.to);
+    if (std::find(pairs.begin(), pairs.end(), pair) == pairs.end()) {
+      pairs.push_back(pair);
+    }
+  }
+  for (const auto& [from, to] : pairs) {
+    shards[to]->MergeRemoteState(*shards[from], weight);
   }
 }
 

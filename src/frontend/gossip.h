@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <span>
 
+#include "src/frontend/splitter.h"
 #include "src/routing/strategy.h"
 
 namespace grouting {
@@ -56,6 +57,16 @@ double CrossShardStateDivergence(std::span<const RoutingStrategy* const> shards)
 // every shard's GossipState is empty (stateless strategies).
 void GossipBlendStrategies(std::span<RoutingStrategy* const> shards,
                            double merge_weight);
+
+// Strategy-state carry for a rebalance round's session migrations: the
+// destination shard merges the source shard's state ONCE per unique
+// (from, to) pair — merging per migrated session would compound the blend
+// and a storm of same-pair migrations would wipe the destination's own
+// adaptive state. Shared by RouterFleet::RebalanceRound and the threaded
+// engine's gossip tick so the two engines' carry semantics cannot drift.
+void ApplyMigrationCarry(std::span<RoutingStrategy* const> shards,
+                         std::span<const SessionMigration> migrations,
+                         double weight);
 
 }  // namespace grouting
 

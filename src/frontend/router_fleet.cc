@@ -9,7 +9,7 @@ RouterFleet::RouterFleet(std::unique_ptr<RoutingStrategy> strategy,
                          uint32_t num_processors, FleetConfig config)
     : config_(config),
       num_processors_(num_processors),
-      splitter_(config.splitter, config.num_shards) {
+      splitter_(config.splitter, config.num_shards, config.session_capacity) {
   GROUTING_CHECK(strategy != nullptr);
   GROUTING_CHECK(config_.num_shards > 0);
   std::vector<std::unique_ptr<RoutingStrategy>> strategies;
@@ -106,6 +106,29 @@ void RouterFleet::GossipRound() {
 
   gossip_stats_.last_divergence_after = CurrentEmaDivergence();
   gossip_stats_.rounds += 1;
+
+  // Adaptive re-splitting rides the same round: the routed-count snapshot it
+  // consumes is exactly what this round just exchanged.
+  RebalanceRound();
+}
+
+size_t RouterFleet::RebalanceRound() {
+  if (num_shards() < 2 || splitter_.kind() != SplitterKind::kAdaptive ||
+      !config_.rebalance.enabled()) {
+    return 0;
+  }
+  const std::vector<uint64_t> routed = RoutedPerShard();
+  const auto migrations = splitter_.Rebalance(routed, config_.rebalance);
+  // Migration carries strategy state: the destination shard pulls in the
+  // source shard's view (EMA for Embed; no-op for stateless strategies) so
+  // the moved session's history is not lost to a cold strategy.
+  std::vector<RoutingStrategy*> strategies;
+  strategies.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    strategies.push_back(&shard->strategy());
+  }
+  ApplyMigrationCarry(strategies, migrations, config_.rebalance.state_carry_weight);
+  return migrations.size();
 }
 
 std::vector<uint64_t> RouterFleet::RoutedPerShard() const {

@@ -39,8 +39,12 @@ namespace grouting {
 struct FleetConfig {
   uint32_t num_shards = 1;
   SplitterKind splitter = SplitterKind::kRoundRobin;
+  uint32_t session_capacity = ArrivalSplitter::kDefaultSessionCapacity;
   RouterConfig router;  // per-shard router config (stealing)
   GossipConfig gossip;
+  // Adaptive re-splitting of the arrival stream (splitter == kAdaptive):
+  // each gossip round may migrate hot sessions off the most-loaded shard.
+  RebalanceConfig rebalance;
 };
 
 
@@ -75,8 +79,17 @@ class RouterFleet {
   size_t pending() const;
 
   // One load/EMA gossip round (see src/frontend/gossip.h): refreshes every
-  // shard's remote-load view and blends the strategies' adaptive state.
+  // shard's remote-load view, blends the strategies' adaptive state, and —
+  // with the adaptive splitter — runs a RebalanceRound() off the same load
+  // snapshot.
   void GossipRound();
+
+  // Adaptive arrival re-splitting: feeds the shards' routed counts to the
+  // splitter and migrates hot sessions per FleetConfig::rebalance. A moved
+  // session carries strategy state: the destination shard merges the source
+  // shard's gossip state (MergeRemoteState) so EmbedStrategy's EMA does not
+  // restart cold. Returns the number of sessions migrated this round.
+  size_t RebalanceRound();
 
   // Mean pairwise L2 distance between shard strategies' gossip state, right
   // now (0 for stateless strategies or a single shard).
@@ -85,10 +98,14 @@ class RouterFleet {
   Router& shard(uint32_t s) { return *shards_[s]; }
   const Router& shard(uint32_t s) const { return *shards_[s]; }
   const GossipStats& gossip_stats() const { return gossip_stats_; }
+  const ArrivalSplitter& splitter() const { return splitter_; }
 
   // Arrival split across shards, derived from the shard routers' own
   // counters (single source of truth).
   std::vector<uint64_t> RoutedPerShard() const;
+
+  // Max/min routed-load ratio across shards right now (1.0 for one shard).
+  double LoadImbalance() const { return RoutedLoadImbalance(RoutedPerShard()); }
 
   // Fleet-wide router stats: summed routed/dispatched/steals and the
   // per-processor dispatch split across all shards.

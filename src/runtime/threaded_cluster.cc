@@ -26,8 +26,18 @@ double ElapsedUs(std::chrono::steady_clock::time_point from,
 ThreadedCluster::ThreadedCluster(const Graph& graph, const ClusterConfig& config,
                                  std::unique_ptr<RoutingStrategy> strategy,
                                  const PartitionAssignment* placement)
-    : ClusterEngine(graph, config, placement) {
+    : ClusterEngine(graph, config, placement),
+      splitter_(config.router_splitter, config.num_router_shards,
+                config.router_session_capacity) {
   GROUTING_CHECK(strategy != nullptr);
+  rebalance_.threshold = config_.router_rebalance_threshold;
+  rebalance_.migration_cap = config_.router_migration_cap;
+  adaptive_ = config_.num_router_shards > 1 &&
+              config_.router_splitter == SplitterKind::kAdaptive;
+  // The feeder thread is what lets the assignment change mid-run (adaptive)
+  // or arrivals be paced in wall time (arrival_gap_us); otherwise the PR-2
+  // pre-sliced path is kept byte-for-byte.
+  use_feeder_ = adaptive_ || config_.arrival_gap_us > 0.0;
   shards_.reserve(config_.num_router_shards);
   for (uint32_t s = 1; s < config_.num_router_shards; ++s) {
     auto clone = strategy->Clone();
@@ -43,14 +53,25 @@ ThreadedCluster::ThreadedCluster(const Graph& graph, const ClusterConfig& config
   for (uint32_t p = 0; p < config_.num_processors; ++p) {
     channels_.push_back(std::make_unique<MpmcQueue<Routed>>());
   }
+  if (use_feeder_) {
+    for (uint32_t s = 0; s < config_.num_router_shards; ++s) {
+      arrival_channels_.push_back(std::make_unique<MpmcQueue<Query>>());
+    }
+  }
   samples_.resize(config_.num_processors);
 }
 
 ThreadedCluster::~ThreadedCluster() {
   shutdown_.store(true, std::memory_order_release);
   gossip_stop_.store(true, std::memory_order_release);
+  for (auto& ch : arrival_channels_) {
+    ch->Close();
+  }
   for (auto& ch : channels_) {
     ch->Close();
+  }
+  if (feeder_thread_.joinable()) {
+    feeder_thread_.join();
   }
   for (auto& t : router_threads_) {
     if (t.joinable()) {
@@ -95,12 +116,37 @@ bool ThreadedCluster::StealInto(uint32_t thief, Routed* out) {
   return true;
 }
 
+void ThreadedCluster::FeederLoop(std::span<const Query> queries) {
+  // The splitter is sequential state, so one thread walks the arrival stream
+  // in order; between any two arrivals the gossip tick may migrate sessions
+  // under the same mutex, changing where the NEXT arrival of a session goes.
+  // A configured arrival gap is paced here in wall time — the threaded
+  // counterpart of the simulator's virtual-time arrival events, and what
+  // lets gossip/rebalance ticks interleave with the stream on real threads.
+  for (const Query& q : queries) {
+    if (shutdown_.load(std::memory_order_acquire)) {
+      break;
+    }
+    BusyWaitUs(config_.arrival_gap_us);
+    uint32_t shard;
+    {
+      std::lock_guard<std::mutex> lock(splitter_mu_);
+      shard = splitter_.ShardFor(q);
+    }
+    arrival_channels_[shard]->Push(q);
+  }
+  arrivals_done_.store(true, std::memory_order_release);
+  for (auto& ch : arrival_channels_) {
+    ch->Close();  // shard threads drain what remains, then exit
+  }
+}
+
 void ThreadedCluster::RouterShardLoop(uint32_t shard, std::span<const Query> slice) {
   RouterShard& rs = *shards_[shard];
   std::vector<uint32_t> lengths(config_.num_processors, 0);
   RouterContext ctx;
   ctx.num_processors = config_.num_processors;
-  for (const Query& q : slice) {
+  const auto route_one = [&](const Query& q) {
     // Live channel lengths are the shared load signal: unlike the simulated
     // shards (which see only their own queues between gossip rounds), real
     // shards share the processor channels and read their depth directly.
@@ -114,16 +160,27 @@ void ThreadedCluster::RouterShardLoop(uint32_t shard, std::span<const Query> sli
       target = rs.strategy->Route(q.node, ctx);
     }
     GROUTING_CHECK(target < config_.num_processors);
-    rs.routed += 1;
+    rs.routed.fetch_add(1, std::memory_order_relaxed);
     channels_[target]->Push(Routed{q, Clock::now(), shard, target});
+  };
+  if (use_feeder_) {
+    while (auto q = arrival_channels_[shard]->Pop()) {
+      route_one(*q);
+    }
+  } else {
+    for (const Query& q : slice) {
+      route_one(q);
+    }
   }
 }
 
 void ThreadedCluster::GossipLoop() {
   const auto period =
       std::chrono::duration<double, std::micro>(config_.gossip_period_us);
+  const bool rebalance = adaptive_ && rebalance_.enabled();
   std::vector<RoutingStrategy*> views;
   std::vector<const RoutingStrategy*> const_views;
+  std::vector<uint64_t> loads(shards_.size(), 0);
   views.reserve(shards_.size());
   const_views.reserve(shards_.size());
   for (auto& shard : shards_) {
@@ -135,18 +192,47 @@ void ThreadedCluster::GossipLoop() {
     if (gossip_stop_.load(std::memory_order_acquire)) {
       break;
     }
-    // One tick: take every shard's mutex (fixed order — other threads only
-    // ever hold one at a time, so no deadlock) and run the SAME blend the
-    // sim fleet runs, so the two engines' gossip semantics cannot drift.
-    std::vector<std::unique_lock<std::mutex>> locks;
-    locks.reserve(shards_.size());
-    for (auto& shard : shards_) {
-      locks.emplace_back(shard->mu);
+    {
+      // One tick: take every shard's mutex (fixed order — other threads
+      // only ever hold one at a time, so no deadlock) and run the SAME
+      // blend the sim fleet runs, so the two engines' gossip semantics
+      // cannot drift.
+      std::vector<std::unique_lock<std::mutex>> locks;
+      locks.reserve(shards_.size());
+      for (auto& shard : shards_) {
+        locks.emplace_back(shard->mu);
+      }
+      gossip_stats_.last_divergence_before = CrossShardStateDivergence(const_views);
+      GossipBlendStrategies(views, config_.gossip_merge_weight);
+      gossip_stats_.last_divergence_after = CrossShardStateDivergence(const_views);
+      gossip_stats_.rounds += 1;
     }
-    gossip_stats_.last_divergence_before = CrossShardStateDivergence(const_views);
-    GossipBlendStrategies(views, config_.gossip_merge_weight);
-    gossip_stats_.last_divergence_after = CrossShardStateDivergence(const_views);
-    gossip_stats_.rounds += 1;
+    if (rebalance && !arrivals_done_.load(std::memory_order_acquire)) {
+      // Adaptive re-splitting folded into the same tick: snapshot the
+      // shards' routed counts and migrate hot sessions. The O(sessions)
+      // rebalance scan holds only the splitter mutex (stalling at most the
+      // feeder, never the routing threads); the shard mutexes are retaken
+      // briefly for the deduped strategy-state carry. Once the stream has
+      // drained there is nothing left to re-split, so the tick stops
+      // migrating — the simulator's gossip chain stops the same way.
+      for (size_t s = 0; s < shards_.size(); ++s) {
+        loads[s] = shards_[s]->routed.load(std::memory_order_relaxed);
+      }
+      std::vector<SessionMigration> migrations;
+      {
+        std::lock_guard<std::mutex> splitter_lock(splitter_mu_);
+        migrations = splitter_.Rebalance(loads, rebalance_);
+      }
+      if (!migrations.empty()) {
+        std::vector<std::unique_lock<std::mutex>> locks;
+        locks.reserve(shards_.size());
+        for (auto& shard : shards_) {
+          locks.emplace_back(shard->mu);
+        }
+        ApplyMigrationCarry(views, migrations, rebalance_.state_carry_weight);
+        sessions_migrated_.fetch_add(migrations.size(), std::memory_order_relaxed);
+      }
+    }
   }
 }
 
@@ -192,22 +278,25 @@ ClusterMetrics ThreadedCluster::Run(std::span<const Query> queries) {
   answers_.reserve(queries.size());
   remaining_.store(queries.size(), std::memory_order_release);
 
-  // Cut the arrival stream into per-shard slices (deterministic in arrival
-  // order, same cut the simulated engine's fleet makes).
+  // Static splitters cut the arrival stream into per-shard slices up front
+  // (deterministic in arrival order, same cut the simulated engine's fleet
+  // makes). The adaptive splitter cannot pre-slice — session migrations
+  // re-route arrivals mid-run — so a feeder thread walks the stream instead.
   const uint32_t num_shards = static_cast<uint32_t>(shards_.size());
-  ArrivalSplitter splitter(config_.router_splitter, num_shards);
   std::vector<std::vector<Query>> slices(num_shards);
-  for (const Query& q : queries) {
-    slices[splitter.ShardFor(q)].push_back(q);
+  if (!use_feeder_) {
+    for (const Query& q : queries) {
+      slices[splitter_.ShardFor(q)].push_back(q);
+    }
   }
 
-  // Only spawn the gossip tick when there is state to gossip: unlike the
-  // simulated fleet (whose rounds also refresh remote-load views), real
-  // shards read live channel lengths, so stateless strategies would pay
-  // the per-tick locks and clones for a guaranteed no-op. Decided before
-  // any thread can touch the strategies.
+  // Spawn the gossip tick only when it has work: EMA state to blend, or an
+  // adaptive rebalance to drive. Stateless strategies under a static
+  // splitter would pay the per-tick locks and clones for a guaranteed
+  // no-op. Decided before any thread can touch the strategies.
   const bool gossip = num_shards > 1 && config_.gossip_period_us > 0.0 &&
-                      !shards_[0]->strategy->GossipState().empty();
+                      (!shards_[0]->strategy->GossipState().empty() ||
+                       (adaptive_ && rebalance_.enabled()));
 
   const auto start = Clock::now();
   threads_.reserve(config_.num_processors);
@@ -218,6 +307,9 @@ ClusterMetrics ThreadedCluster::Run(std::span<const Query> queries) {
   for (uint32_t s = 0; s < num_shards; ++s) {
     router_threads_.emplace_back(
         [this, s, &slices] { RouterShardLoop(s, slices[s]); });
+  }
+  if (use_feeder_) {
+    feeder_thread_ = std::thread([this, queries] { FeederLoop(queries); });
   }
   if (gossip) {
     gossip_thread_ = std::thread([this] { GossipLoop(); });
@@ -233,6 +325,9 @@ ClusterMetrics ThreadedCluster::Run(std::span<const Query> queries) {
   }
   const auto end = Clock::now();
 
+  if (feeder_thread_.joinable()) {
+    feeder_thread_.join();
+  }
   for (auto& t : router_threads_) {
     t.join();
   }
@@ -268,11 +363,14 @@ ClusterMetrics ThreadedCluster::Run(std::span<const Query> queries) {
   std::vector<const RoutingStrategy*> views;
   views.reserve(num_shards);
   for (uint32_t s = 0; s < num_shards; ++s) {
-    m.queries_per_router_shard[s] = shards_[s]->routed;
+    m.queries_per_router_shard[s] = shards_[s]->routed.load(std::memory_order_relaxed);
     views.push_back(shards_[s]->strategy.get());
   }
   m.gossip_rounds = gossip_stats_.rounds;
   m.router_ema_divergence = CrossShardStateDivergence(views);
+  m.sessions_migrated = sessions_migrated_.load(std::memory_order_relaxed);
+  m.sticky_evictions = splitter_.stats().evictions;
+  m.router_load_imbalance = RoutedLoadImbalance(m.queries_per_router_shard);
   return m;
 }
 

@@ -2,12 +2,22 @@
 // SAME strategies, caches, executors and storage tier as the simulator —
 // but on actual threads with actual concurrency:
 //
+//   feeder thread  : (adaptive splitter, or arrival_gap_us > 0) walks the
+//                    arrival stream in order — pacing the configured gap in
+//                    wall time — and hands each query to its CURRENT shard
+//                    via a per-shard arrival channel, so the assignment can
+//                    change mid-run as sessions migrate. Static unpaced
+//                    splitters keep the PR-2 path: slices cut up front, no
+//                    feeder.
 //   N router-shard threads : each routes its slice of the arrival stream
-//                    (cut by the ArrivalSplitter) onto per-processor
-//                    channels with its OWN strategy instance, using live
-//                    channel lengths as load,
+//                    onto per-processor channels with its OWN strategy
+//                    instance, using live channel lengths as load,
 //   gossip thread  : when sharded, periodically blends the shards' EMA
-//                    state (mutex-light: one short lock per shard per tick),
+//                    state (mutex-light: one short lock per shard per tick)
+//                    and — with the adaptive splitter — runs the arrival
+//                    rebalance off the same tick: hot sessions migrate from
+//                    the most- to the least-loaded shard, carrying strategy
+//                    state via MergeRemoteState,
 //   P processor threads : drain their channel; when empty they STEAL from
 //                    the longest sibling channel; every dispatch is fed
 //                    back to the routing shard's strategy (steal-aware),
@@ -76,6 +86,7 @@ class ThreadedCluster : public ClusterEngine {
     RunningStat queue_wait_us;
   };
 
+  void FeederLoop(std::span<const Query> queries);
   void RouterShardLoop(uint32_t shard, std::span<const Query> slice);
   void GossipLoop();
   void ProcessorLoop(uint32_t p);
@@ -86,7 +97,8 @@ class ThreadedCluster : public ClusterEngine {
   struct RouterShard {
     std::unique_ptr<RoutingStrategy> strategy;
     std::mutex mu;
-    uint64_t routed = 0;  // written by the owning shard thread only
+    // Written by the owning shard thread, read by the gossip/rebalance tick.
+    std::atomic<uint64_t> routed{0};
   };
 
   std::vector<std::unique_ptr<RouterShard>> shards_;
@@ -101,6 +113,19 @@ class ThreadedCluster : public ClusterEngine {
   std::atomic<bool> shutdown_{false};
   std::atomic<bool> gossip_stop_{false};
   GossipStats gossip_stats_;  // written by the gossip thread, read post-join
+
+  // Arrival splitter. Static splitters consume it single-threaded in Run();
+  // the adaptive splitter is shared between the feeder thread (ShardFor) and
+  // the gossip tick (Rebalance) behind splitter_mu_.
+  ArrivalSplitter splitter_;
+  std::mutex splitter_mu_;
+  RebalanceConfig rebalance_;
+  bool adaptive_;    // adaptive splitter: rebalance at gossip ticks
+  bool use_feeder_;  // feeder + arrival-channel mode (adaptive or paced)
+  std::vector<std::unique_ptr<MpmcQueue<Query>>> arrival_channels_;
+  std::thread feeder_thread_;
+  std::atomic<bool> arrivals_done_{false};
+  std::atomic<uint64_t> sessions_migrated_{0};
 };
 
 }  // namespace grouting

@@ -13,9 +13,12 @@ DecoupledClusterSim::DecoupledClusterSim(const Graph& graph, const ClusterConfig
   FleetConfig fc;
   fc.num_shards = config_.num_router_shards;
   fc.splitter = config_.router_splitter;
+  fc.session_capacity = config_.router_session_capacity;
   fc.router.enable_stealing = config_.enable_stealing;
   fc.gossip.period_us = config_.gossip_period_us;
   fc.gossip.merge_weight = config_.gossip_merge_weight;
+  fc.rebalance.threshold = config_.router_rebalance_threshold;
+  fc.rebalance.migration_cap = config_.router_migration_cap;
   fleet_ = std::make_unique<RouterFleet>(std::move(strategy), config_.num_processors, fc);
   in_flight_.resize(config_.num_processors);
   processor_idle_.assign(config_.num_processors, 1);
@@ -84,6 +87,9 @@ ClusterMetrics DecoupledClusterSim::Run(std::span<const Query> queries) {
   m.queries_per_router_shard = fleet_->RoutedPerShard();
   m.gossip_rounds = fleet_->gossip_stats().rounds;
   m.router_ema_divergence = fleet_->CurrentEmaDivergence();
+  m.sessions_migrated = fleet_->splitter().stats().migrations;
+  m.sticky_evictions = fleet_->splitter().stats().evictions;
+  m.router_load_imbalance = RoutedLoadImbalance(m.queries_per_router_shard);
   return m;
 }
 

@@ -1,5 +1,9 @@
 #include "src/workload/workload.h"
 
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
 #include "src/graph/traversal.h"
 #include "src/util/rng.h"
 
@@ -63,6 +67,54 @@ std::vector<Query> GenerateHotspotWorkload(const Graph& g, const WorkloadConfig&
           region.empty() ? center : region[rng.NextBounded(region.size())];
       queries.push_back(MakeQuery(g, node, id++, config, rng));
     }
+  }
+  return queries;
+}
+
+std::vector<Query> GenerateSkewedSessionWorkload(const Graph& g,
+                                                 const SkewedWorkloadConfig& config) {
+  GROUTING_CHECK(g.num_nodes() > 0);
+  GROUTING_CHECK(config.num_sessions > 0);
+  GROUTING_CHECK(config.zipf_s >= 0.0);
+  Rng rng(config.seed ^ 0x5ca1ab1eULL);
+
+  // Session keys: distinct query nodes where the graph allows it (a session
+  // is a sticky key, so duplicates would silently merge sessions).
+  std::vector<NodeId> sessions;
+  sessions.reserve(config.num_sessions);
+  std::unordered_set<NodeId> used;
+  for (size_t i = 0; i < config.num_sessions; ++i) {
+    auto node = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    for (int attempt = 0; attempt < 64 && used.count(node) > 0; ++attempt) {
+      node = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    }
+    used.insert(node);
+    sessions.push_back(node);
+  }
+
+  // Zipf CDF over session ranks: weight(i) = 1 / (i+1)^s.
+  std::vector<double> cdf(sessions.size(), 0.0);
+  double total = 0.0;
+  for (size_t i = 0; i < sessions.size(); ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), config.zipf_s);
+    cdf[i] = total;
+  }
+
+  WorkloadConfig wl;
+  wl.hops = config.hops;
+  wl.weight_aggregation = config.weight_aggregation;
+  wl.weight_random_walk = config.weight_random_walk;
+  wl.weight_reachability = config.weight_reachability;
+  wl.restart_prob = config.restart_prob;
+
+  std::vector<Query> queries;
+  queries.reserve(config.num_queries);
+  for (uint64_t id = 0; id < config.num_queries; ++id) {
+    const double r = rng.NextDouble() * total;
+    const size_t rank = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), r) - cdf.begin());
+    const NodeId node = sessions[std::min(rank, sessions.size() - 1)];
+    queries.push_back(MakeQuery(g, node, id, wl, rng));
   }
   return queries;
 }

@@ -39,6 +39,28 @@ std::vector<Query> GenerateHotspotWorkload(const Graph& g, const WorkloadConfig&
 std::vector<Query> GenerateUniformWorkload(const Graph& g, size_t count,
                                            const WorkloadConfig& config);
 
+// Skewed session stream (beyond the paper): num_sessions session keys, each
+// a fixed query node, with per-query session choice drawn Zipf(zipf_s) —
+// session rank i gets weight 1/(i+1)^s. zipf_s = 0 degenerates to a uniform
+// session mix; larger s concentrates the stream on a few hot sessions. This
+// is the arrival pattern that breaks static splitters (a sticky/hash split
+// keeps feeding a hot session's shard) and that adaptive re-splitting is
+// measured against. Query ids are sequential; deterministic in config.seed.
+struct SkewedWorkloadConfig {
+  size_t num_sessions = 64;
+  size_t num_queries = 2048;
+  double zipf_s = 1.0;
+  int32_t hops = 2;
+  double weight_aggregation = 1.0;
+  double weight_random_walk = 1.0;
+  double weight_reachability = 1.0;
+  double restart_prob = 0.15;
+  uint64_t seed = 2024;
+};
+
+std::vector<Query> GenerateSkewedSessionWorkload(const Graph& g,
+                                                 const SkewedWorkloadConfig& config);
+
 }  // namespace grouting
 
 #endif  // GROUTING_SRC_WORKLOAD_WORKLOAD_H_

@@ -100,6 +100,51 @@ TEST_F(CrossEngineTest, IdenticalAnswersForEveryScheme) {
   }
 }
 
+TEST_F(CrossEngineTest, ShardedAdaptiveParityForEveryScheme) {
+  // Answer parity must survive a sharded frontend with mid-run session
+  // migration: the engines migrate at different (virtual vs wall-clock)
+  // moments, but WHAT is answered may not change. A Zipf stream keeps the
+  // rebalance path genuinely active.
+  const Graph& g = env_->graph();
+  const auto queries = env_->SkewedWorkload(/*sessions=*/40, /*queries=*/300,
+                                            /*zipf_s=*/1.1);
+
+  for (const RoutingSchemeKind scheme : kAllSchemes) {
+    SCOPED_TRACE(RoutingSchemeKindName(scheme));
+    RunOptions opts = SmallRun(scheme);
+    opts.router_shards = 3;
+    opts.splitter = SplitterKind::kAdaptive;
+    opts.rebalance_threshold = 1.2;
+    opts.migration_cap = 8;
+    opts.gossip_period_us = 50.0;
+    opts.arrival_gap_us = 2.0;
+    const ClusterConfig config = env_->MakeClusterConfig(opts);
+
+    auto sim = MakeClusterEngine(EngineKind::kSimulated, g, config,
+                                 env_->MakeStrategy(opts));
+    auto threaded = MakeClusterEngine(EngineKind::kThreaded, g, config,
+                                      env_->MakeStrategy(opts));
+    const ClusterMetrics sim_m = sim->Run(queries);
+    const ClusterMetrics thr_m = threaded->Run(queries);
+
+    ASSERT_EQ(sim_m.queries, queries.size());
+    ASSERT_EQ(thr_m.queries, queries.size());
+
+    const auto sim_answers = SortedAnswers(*sim);
+    const auto thr_answers = SortedAnswers(*threaded);
+    ASSERT_EQ(sim_answers.size(), thr_answers.size());
+    for (size_t i = 0; i < sim_answers.size(); ++i) {
+      const AnsweredQuery& a = sim_answers[i];
+      const AnsweredQuery& b = thr_answers[i];
+      ASSERT_EQ(a.query_id, b.query_id) << "answer " << i;
+      EXPECT_EQ(a.result.aggregate, b.result.aggregate) << "query " << a.query_id;
+      EXPECT_EQ(a.result.walk_end, b.result.walk_end) << "query " << a.query_id;
+      EXPECT_EQ(a.result.reachable, b.result.reachable) << "query " << a.query_id;
+      EXPECT_EQ(a.result.distance, b.result.distance) << "query " << a.query_id;
+    }
+  }
+}
+
 TEST_F(CrossEngineTest, EnvRunWorksOnBothEnginesForEveryScheme) {
   for (const RoutingSchemeKind scheme : kAllSchemes) {
     SCOPED_TRACE(RoutingSchemeKindName(scheme));

@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -83,6 +84,125 @@ TEST(SplitterTest, StickyKeepsNodeAffinityAndBalancesNewNodes) {
   for (int c : counts) {
     EXPECT_EQ(c, 3);
   }
+}
+
+TEST(SplitterTest, SessionTableIsBoundedWithFifoEviction) {
+  // Regression: the sticky/adaptive session table must not grow without
+  // bound — beyond the capacity the oldest session is evicted (and counted).
+  constexpr uint32_t kCapacity = 64;
+  ArrivalSplitter s(SplitterKind::kSticky, 3, kCapacity);
+  Query q;
+  for (NodeId u = 0; u < 500; ++u) {
+    q.node = u;
+    s.ShardFor(q);
+  }
+  EXPECT_EQ(s.session_count(), kCapacity);
+  EXPECT_EQ(s.stats().evictions, 500u - kCapacity);
+  // The oldest sessions are gone, the newest survive.
+  EXPECT_EQ(s.SessionShard(0), 3u);    // evicted: unknown
+  EXPECT_LT(s.SessionShard(499), 3u);  // newest: live
+  // An evicted node that returns starts a fresh session (and evicts again).
+  q.node = 0;
+  EXPECT_LT(s.ShardFor(q), 3u);
+  EXPECT_EQ(s.session_count(), kCapacity);
+  EXPECT_EQ(s.stats().evictions, 500u - kCapacity + 1);
+}
+
+TEST(SplitterTest, AdaptiveWithoutThresholdIsDecisionIdenticalToSticky) {
+  // threshold <= 1 (or infinity) disables migration: kAdaptive must then
+  // assign exactly like kSticky, even with rebalance rounds injected.
+  ArrivalSplitter sticky(SplitterKind::kSticky, 4);
+  ArrivalSplitter adaptive(SplitterKind::kAdaptive, 4);
+  RebalanceConfig off;  // threshold = 0 -> disabled
+  const std::vector<uint64_t> loads = {1000, 1, 1, 1};
+  Query q;
+  for (uint64_t i = 0; i < 400; ++i) {
+    q.id = i;
+    q.node = static_cast<NodeId>((i * 13) % 37);
+    ASSERT_EQ(adaptive.ShardFor(q), sticky.ShardFor(q)) << "arrival " << i;
+    if (i % 50 == 0) {
+      EXPECT_TRUE(adaptive.Rebalance(loads, off).empty());
+    }
+  }
+  RebalanceConfig inf_threshold;
+  inf_threshold.threshold = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(adaptive.Rebalance(loads, inf_threshold).empty());
+  EXPECT_EQ(adaptive.stats().migrations, 0u);
+}
+
+TEST(SplitterTest, RebalanceMovesHotSessionsWithCapAndHysteresis) {
+  ArrivalSplitter s(SplitterKind::kAdaptive, 2);
+  // Sticky assignment alternates new sessions: even nodes -> shard 0, odd
+  // nodes -> shard 1. Make shard 0's sessions hot.
+  Query q;
+  const auto feed = [&](NodeId node, int times) {
+    q.node = node;
+    for (int i = 0; i < times; ++i) {
+      s.ShardFor(q);
+    }
+  };
+  for (NodeId u = 0; u < 6; ++u) {
+    feed(u, 1);  // even -> shard 0, odd -> shard 1
+  }
+  feed(0, 29);  // hot sessions on shard 0: 30 arrivals each
+  feed(2, 29);
+  feed(4, 29);
+  feed(1, 4);  // cool sessions on shard 1: 5 arrivals each
+  feed(3, 4);
+  feed(5, 4);
+  ASSERT_EQ(s.SessionShard(0), 0u);
+  ASSERT_EQ(s.SessionShard(2), 0u);
+  ASSERT_EQ(s.SessionShard(4), 0u);
+
+  RebalanceConfig cfg;
+  cfg.threshold = 1.5;
+  cfg.migration_cap = 1;
+  const std::vector<uint64_t> loads = {90, 15};
+  auto moved = s.Rebalance(loads, cfg);
+  ASSERT_EQ(moved.size(), 1u);
+  EXPECT_EQ(moved[0].from, 0u);
+  EXPECT_EQ(moved[0].to, 1u);
+  EXPECT_EQ(moved[0].session, 0u);  // equally hot candidates tie-break low
+  // The moved session's future arrivals land on the destination shard.
+  EXPECT_EQ(s.SessionShard(0), 1u);
+  q.node = 0;
+  EXPECT_EQ(s.ShardFor(q), 1u);
+
+  // Projected loads after the move: 60 vs 45 — below the threshold, so the
+  // next round (same stale external snapshot) must not thrash it back.
+  EXPECT_TRUE(s.Rebalance(loads, cfg).empty());
+  EXPECT_EQ(s.stats().migrations, 1u);
+}
+
+TEST(SplitterTest, RebalanceNeverOvershootsWithOneMegaSession) {
+  // A single session hotter than the whole gap cannot be split further;
+  // moving it would just relocate the hotspot, so the splitter must leave
+  // it and move only what narrows the spread.
+  ArrivalSplitter s(SplitterKind::kAdaptive, 2);
+  Query q;
+  const auto feed = [&](NodeId node, int times) {
+    q.node = node;
+    for (int i = 0; i < times; ++i) {
+      s.ShardFor(q);
+    }
+  };
+  feed(0, 1);  // -> shard 0 (the mega session)
+  feed(1, 1);  // -> shard 1
+  feed(2, 1);  // -> shard 0
+  feed(3, 1);  // -> shard 1
+  feed(0, 99);
+  feed(2, 9);
+  feed(1, 9);
+  feed(3, 9);
+  RebalanceConfig cfg;
+  cfg.threshold = 1.5;
+  cfg.migration_cap = 8;
+  // Loads 110 vs 20: only session 2 (10 arrivals < gap = 90) may move.
+  const std::vector<uint64_t> loads = {110, 20};
+  const auto moved = s.Rebalance(loads, cfg);
+  ASSERT_EQ(moved.size(), 1u);
+  EXPECT_EQ(moved[0].session, 2u);
+  EXPECT_EQ(s.SessionShard(0), 0u);  // the mega session stays put
 }
 
 // ---------------------------------------------------- fleet-of-1 identity --
@@ -272,6 +392,127 @@ TEST_F(FrontendFixture, ShardedFleetMatchesSingleRouterAnswersOnBothEngines) {
       EXPECT_EQ(ans_a[i].result.walk_end, ans_b[i].result.walk_end);
       EXPECT_EQ(ans_a[i].result.reachable, ans_b[i].result.reachable);
     }
+  }
+}
+
+// ------------------------------------------------- adaptive re-splitting --
+
+TEST_F(FrontendFixture, AdaptiveFleetOfOneIsAnswerIdenticalToRouter) {
+  // With one shard there is nothing to migrate: the adaptive fleet must be
+  // the classic router, even with an aggressive threshold and forced rounds.
+  const auto queries = env_->HotspotWorkload(2, 2, 20, 5);
+  const RunOptions opts = SmallRun(RoutingSchemeKind::kEmbed);
+  Router reference(env_->MakeStrategy(opts), opts.processors);
+  FleetConfig fc;
+  fc.splitter = SplitterKind::kAdaptive;
+  fc.rebalance.threshold = 1.01;
+  RouterFleet fleet(env_->MakeStrategy(opts), opts.processors, fc);
+  for (const Query& q : queries) {
+    const uint32_t expected = reference.Enqueue(q);
+    const RouterFleet::RoutedArrival got = fleet.Enqueue(q);
+    ASSERT_EQ(got.shard, 0u);
+    ASSERT_EQ(got.processor, expected) << "query " << q.id;
+    EXPECT_EQ(fleet.RebalanceRound(), 0u);
+  }
+  EXPECT_EQ(fleet.splitter().stats().migrations, 0u);
+  EXPECT_DOUBLE_EQ(fleet.LoadImbalance(), 1.0);
+}
+
+TEST_F(FrontendFixture, AdaptiveConvergesUnderSkewWhereHashStaysImbalanced) {
+  // The tentpole claim at fleet level: on a Zipf session stream, a static
+  // hash split keeps feeding the hot sessions' shards while the adaptive
+  // splitter migrates them until the routed load flattens. Measured on the
+  // trailing half of the stream (cumulative counts keep the pre-migration
+  // skew forever; what must converge is the rate).
+  constexpr uint32_t kShards = 4;
+  constexpr double kTrigger = 1.2;  // migration trigger ratio
+  // zipf_s = 1.0 over 64 sessions: heavily skewed (the hash split sustains
+  // ~3.9x max/min) yet balanceable — the hottest session's share stays below
+  // a fair shard share, so the controller can actually reach the trigger.
+  const auto queries = env_->SkewedWorkload(/*sessions=*/64, /*queries=*/6000,
+                                            /*zipf_s=*/1.0);
+  const RunOptions opts = SmallRun(RoutingSchemeKind::kEmbed);
+
+  const auto trailing_imbalance = [&](SplitterKind splitter) {
+    FleetConfig fc;
+    fc.num_shards = kShards;
+    fc.splitter = splitter;
+    fc.rebalance.threshold = kTrigger;
+    fc.rebalance.migration_cap = 16;
+    // Steady 50-arrival rounds: a tight noise floor lets the controller
+    // chase the trigger all the way down (the 3-sigma default is sized for
+    // short, jittery gossip windows).
+    fc.rebalance.noise_sigmas = 1.0;
+    RouterFleet fleet(env_->MakeStrategy(opts), opts.processors, fc);
+    std::vector<uint64_t> warmup;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      fleet.Enqueue(queries[i]);
+      if (i % 50 == 49) {
+        fleet.GossipRound();  // load/EMA gossip + rebalance ride together
+      }
+      if (i == queries.size() / 2) {
+        warmup = fleet.RoutedPerShard();
+      }
+    }
+    std::vector<uint64_t> trailing = fleet.RoutedPerShard();
+    for (uint32_t s = 0; s < kShards; ++s) {
+      trailing[s] -= warmup[s];
+    }
+    return RoutedLoadImbalance(trailing);
+  };
+
+  const double hash_imb = trailing_imbalance(SplitterKind::kHash);
+  const double adaptive_imb = trailing_imbalance(SplitterKind::kAdaptive);
+  EXPECT_GT(hash_imb, 1.8);            // static split stays skewed
+  EXPECT_LT(adaptive_imb, kTrigger);   // adaptive converges below the trigger
+  EXPECT_LT(adaptive_imb, hash_imb);
+}
+
+TEST_F(FrontendFixture, MigrationCarriesEmaStateToDestinationShard) {
+  // When a session migrates, the destination shard must not meet it cold:
+  // RebalanceRound merges the source strategy's gossip state in.
+  const RunOptions opts = SmallRun(RoutingSchemeKind::kEmbed);
+  FleetConfig fc;
+  fc.num_shards = 2;
+  fc.splitter = SplitterKind::kAdaptive;
+  fc.rebalance.threshold = 1.5;
+  fc.rebalance.migration_cap = 1;
+  fc.rebalance.state_carry_weight = 0.5;
+  RouterFleet fleet(env_->MakeStrategy(opts), opts.processors, fc);
+
+  // Four sessions alternate shards; shard 0's two run hot.
+  const auto nodes = env_->HotspotWorkload(2, 2, 4, 1);
+  ASSERT_EQ(nodes.size(), 4u);
+  const auto feed = [&](const Query& proto, int times) {
+    for (int i = 0; i < times; ++i) {
+      fleet.Enqueue(proto);
+    }
+  };
+  for (const Query& q : nodes) {
+    feed(q, 1);
+  }
+  feed(nodes[0], 29);
+  feed(nodes[2], 29);
+  feed(nodes[1], 4);
+  feed(nodes[3], 4);
+
+  const auto state_of = [&](uint32_t shard) {
+    const auto view = fleet.shard(shard).strategy().GossipState();
+    return std::vector<double>(view.begin(), view.end());
+  };
+  const auto src_before = state_of(0);
+  const auto dst_before = state_of(1);
+  ASSERT_FALSE(dst_before.empty());
+
+  ASSERT_GE(fleet.RebalanceRound(), 1u);
+
+  // dst = (1 - w) * dst + w * src, w = 0.5; src untouched.
+  const auto src_after = state_of(0);
+  const auto dst_after = state_of(1);
+  for (size_t k = 0; k < dst_after.size(); ++k) {
+    EXPECT_NEAR(dst_after[k], 0.5 * dst_before[k] + 0.5 * src_before[k], 1e-9)
+        << "dim " << k;
+    EXPECT_DOUBLE_EQ(src_after[k], src_before[k]) << "dim " << k;
   }
 }
 

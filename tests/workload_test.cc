@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+#include <set>
 
 #include "src/graph/generators.h"
 #include "src/graph/graph_stats.h"
@@ -129,6 +131,87 @@ TEST(WorkloadTest, SingleNodeGraph) {
   EXPECT_EQ(queries.size(), 6u);
   for (const Query& q : queries) {
     EXPECT_EQ(q.node, 0u);
+  }
+}
+
+// ------------------------------------------------- skewed session stream --
+
+TEST(SkewedWorkloadTest, GeneratesRequestedCountWithSequentialIds) {
+  Graph g = GenerateErdosRenyi(500, 2500, 11);
+  SkewedWorkloadConfig cfg;
+  cfg.num_sessions = 16;
+  cfg.num_queries = 300;
+  auto queries = GenerateSkewedSessionWorkload(g, cfg);
+  ASSERT_EQ(queries.size(), 300u);
+  std::set<NodeId> session_nodes;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(queries[i].id, i);
+    session_nodes.insert(queries[i].node);
+  }
+  // Every query belongs to one of the session keys.
+  EXPECT_LE(session_nodes.size(), cfg.num_sessions);
+}
+
+TEST(SkewedWorkloadTest, ZipfConcentratesArrivalsOnHotSessions) {
+  Graph g = GenerateErdosRenyi(2000, 8000, 12);
+  SkewedWorkloadConfig cfg;
+  cfg.num_sessions = 50;
+  cfg.num_queries = 5000;
+  cfg.zipf_s = 1.2;
+  auto queries = GenerateSkewedSessionWorkload(g, cfg);
+  std::map<NodeId, size_t> counts;
+  for (const Query& q : queries) {
+    counts[q.node] += 1;
+  }
+  size_t hottest = 0;
+  for (const auto& [node, count] : counts) {
+    hottest = std::max(hottest, count);
+  }
+  // Uniform share would be 100 queries/session; the rank-1 Zipf(1.2) session
+  // carries ~18% of the stream.
+  EXPECT_GT(hottest, 400u);
+
+  // zipf_s = 0 degenerates to a uniform session mix.
+  cfg.zipf_s = 0.0;
+  auto uniform = GenerateSkewedSessionWorkload(g, cfg);
+  std::map<NodeId, size_t> ucounts;
+  for (const Query& q : uniform) {
+    ucounts[q.node] += 1;
+  }
+  size_t umax = 0;
+  for (const auto& [node, count] : ucounts) {
+    umax = std::max(umax, count);
+  }
+  EXPECT_LT(umax, 250u);
+}
+
+TEST(SkewedWorkloadTest, SessionKeysAreDistinctOnLargeGraphs) {
+  Graph g = GenerateErdosRenyi(5000, 15000, 13);
+  SkewedWorkloadConfig cfg;
+  cfg.num_sessions = 64;
+  cfg.num_queries = 2000;
+  cfg.zipf_s = 0.0;  // uniform: every session key appears w.h.p.
+  auto queries = GenerateSkewedSessionWorkload(g, cfg);
+  std::set<NodeId> distinct;
+  for (const Query& q : queries) {
+    distinct.insert(q.node);
+  }
+  EXPECT_EQ(distinct.size(), cfg.num_sessions);
+}
+
+TEST(SkewedWorkloadTest, DeterministicInSeed) {
+  Graph g = GenerateErdosRenyi(300, 1200, 14);
+  SkewedWorkloadConfig cfg;
+  cfg.num_sessions = 20;
+  cfg.num_queries = 200;
+  cfg.seed = 77;
+  auto a = GenerateSkewedSessionWorkload(g, cfg);
+  auto b = GenerateSkewedSessionWorkload(g, cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_EQ(a[i].type, b[i].type);
+    EXPECT_EQ(a[i].seed, b[i].seed);
   }
 }
 
