@@ -137,5 +137,9 @@ int main(int argc, char** argv) {
   grouting::bench::PrintPaperShape(
       "with embed routing the storage partitioning scheme barely moves the needle — "
       "the paper's core argument for skipping expensive partitioning.");
+  grouting::bench::WriteBenchJson("ablation_design",
+                                  {{"cache_policy", &grouting::bench::PolicyRows()},
+                                   {"stealing", &grouting::bench::StealRows()},
+                                   {"partitioning", &grouting::bench::PartitionRows()}});
   return 0;
 }

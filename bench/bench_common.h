@@ -21,6 +21,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -95,6 +96,88 @@ inline void PrintMetricsTable(const std::string& title,
 
 inline void PrintPaperShape(const char* shape) {
   std::printf("--- paper shape: %s\n", shape);
+  std::fflush(stdout);
+}
+
+// --- machine-readable results: BENCH_<name>.json ------------------------
+//
+// Every bench binary ends its main() with WriteBenchJson, emitting one JSON
+// document per bench run into GROUTING_BENCH_JSON_DIR (default: the working
+// directory). CI uploads these as artifacts — the bench trajectory — and
+// tools/check_bench_regression.py gates pushes against the checked-in
+// bench/baselines/*.json on the deterministic simulated engine.
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// One named group of result rows (a bench's summary tables map 1:1).
+struct JsonGroup {
+  const char* group;
+  const std::vector<ResultRow>* rows;
+};
+
+inline void WriteBenchJson(const std::string& name,
+                           std::initializer_list<JsonGroup> groups) {
+  const char* dir = std::getenv("GROUTING_BENCH_JSON_DIR");
+  const std::string path = std::string(dir != nullptr && *dir != '\0' ? dir : ".") +
+                           "/BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "WriteBenchJson: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"engine\": \"%s\",\n  \"scale\": %g,\n",
+               JsonEscape(name).c_str(), EngineKindName(BenchEngine()).c_str(),
+               BenchScale());
+  std::fprintf(f, "  \"results\": [");
+  bool first = true;
+  for (const JsonGroup& g : groups) {
+    for (const ResultRow& row : *g.rows) {
+      const ClusterMetrics& m = row.metrics;
+      std::fprintf(f, "%s\n    {\"group\": \"%s\", \"label\": \"%s\", ", first ? "" : ",",
+                   JsonEscape(g.group).c_str(), JsonEscape(row.label).c_str());
+      std::fprintf(f,
+                   "\"throughput_qps\": %.6g, \"mean_response_ms\": %.6g, "
+                   "\"p95_response_ms\": %.6g, \"hit_rate\": %.6g, "
+                   "\"cache_hits\": %llu, \"cache_misses\": %llu, "
+                   "\"storage_batches\": %llu, \"steals\": %llu, "
+                   "\"batches_inflight_peak\": %u, \"fetch_overlap_us\": %.6g}",
+                   m.throughput_qps, m.mean_response_ms, m.p95_response_ms,
+                   m.CacheHitRate(), static_cast<unsigned long long>(m.cache_hits),
+                   static_cast<unsigned long long>(m.cache_misses),
+                   static_cast<unsigned long long>(m.storage_batches),
+                   static_cast<unsigned long long>(m.steals), m.batches_inflight_peak,
+                   m.fetch_overlap_us);
+      first = false;
+    }
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("--- wrote %s\n", path.c_str());
   std::fflush(stdout);
 }
 

@@ -109,5 +109,7 @@ int main(int argc, char** argv) {
   grouting::bench::PrintPaperShape(
       "smart routing degrades gracefully: ~100%->80% costs only a few percent; at 20% "
       "it approaches (but still matches) hash routing.");
+  grouting::bench::WriteBenchJson("fig10_graph_updates",
+                                  {{"preprocess_fraction", &grouting::bench::Rows()}});
   return 0;
 }

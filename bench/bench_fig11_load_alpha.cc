@@ -91,5 +91,8 @@ int main(int argc, char** argv) {
   grouting::bench::PrintMetricsTable("Figure 11(b): response time vs alpha (embed EMA)",
                                      grouting::bench::AlphaRows());
   grouting::bench::PrintPaperShape("response is best for alpha in [0.25, 0.75].");
+  grouting::bench::WriteBenchJson("fig11_load_alpha",
+                                  {{"load_factor", &grouting::bench::LoadRows()},
+                                   {"alpha", &grouting::bench::AlphaRows()}});
   return 0;
 }

@@ -100,5 +100,7 @@ int main(int argc, char** argv) {
   grouting::bench::PrintPaperShape(
       "response improves up to ~D=10 (better routing) then flattens/rises slightly "
       "(routing decision cost grows with D).");
+  grouting::bench::WriteBenchJson("fig12_dimensions",
+                                  {{"dimensionality", &grouting::bench::Rows()}});
   return 0;
 }

@@ -87,5 +87,8 @@ int main(int argc, char** argv) {
   grouting::bench::PrintMetricsTable("Figure 13(b): response time vs landmark separation",
                                      grouting::bench::SepRows());
   grouting::bench::PrintPaperShape("separation has only a mild effect (best around 3-4 hops).");
+  grouting::bench::WriteBenchJson("fig13_landmarks",
+                                  {{"landmark_count", &grouting::bench::CountRows()},
+                                   {"separation", &grouting::bench::SepRows()}});
   return 0;
 }

@@ -55,5 +55,7 @@ int main(int argc, char** argv) {
   grouting::bench::PrintPaperShape(
       "landmark/embed obtain far more cache hits and lower response than "
       "next_ready/hash for both r=1 and r=2; no_cache is the upper response bound.");
+  grouting::bench::WriteBenchJson("fig14_hotspot_radius",
+                                  {{"hotspot_radius", &grouting::bench::Rows()}});
   return 0;
 }

@@ -55,5 +55,7 @@ int main(int argc, char** argv) {
   grouting::bench::PrintPaperShape(
       "smart routing wins at every h; at h=3 the gap narrows (compute on the much "
       "larger neighbourhood dominates; paper: ~15% advantage remains).");
+  grouting::bench::WriteBenchJson("fig15_traversal_depth",
+                                  {{"traversal_depth", &grouting::bench::Rows()}});
   return 0;
 }

@@ -57,5 +57,7 @@ int main(int argc, char** argv) {
   grouting::bench::PrintPaperShape(
       "memetracker: baselines ~30% under no-cache, smart routing ~10% more; "
       "friendster: much smaller gains (low overlap, compute-dominated).");
+  grouting::bench::WriteBenchJson("fig16_other_datasets",
+                                  {{"datasets", &grouting::bench::Rows()}});
   return 0;
 }

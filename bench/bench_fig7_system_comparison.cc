@@ -131,5 +131,22 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   grouting::bench::PrintFig7();
+  // Flatten the per-dataset system comparison into the shared JSON schema
+  // (one row per dataset x system, throughput is the figure's metric).
+  std::vector<grouting::bench::ResultRow> rows;
+  for (const auto& r : grouting::bench::Rows()) {
+    const std::pair<const char*, double> systems[] = {
+        {"sedge_like", r.sedge_qps},
+        {"powergraph_like", r.powergraph_qps},
+        {"grouting_e", r.grouting_e_qps},
+        {"grouting_ib", r.grouting_qps},
+    };
+    for (const auto& [system, qps] : systems) {
+      grouting::ClusterMetrics m;
+      m.throughput_qps = qps;
+      rows.push_back({r.dataset + " " + system, m});
+    }
+  }
+  grouting::bench::WriteBenchJson("fig7_system_comparison", {{"systems", &rows}});
   return 0;
 }

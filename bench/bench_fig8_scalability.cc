@@ -86,5 +86,8 @@ int main(int argc, char** argv) {
   grouting::bench::PrintPaperShape(
       "1-2 storage servers bottleneck the tier; throughput saturates at ~4 servers "
       "as the bottleneck moves back to the processing tier.");
+  grouting::bench::WriteBenchJson("fig8_scalability",
+                                  {{"processors", &grouting::bench::ProcRows()},
+                                   {"storage_servers", &grouting::bench::StorageRows()}});
   return 0;
 }

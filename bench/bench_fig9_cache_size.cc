@@ -122,5 +122,7 @@ int main(int argc, char** argv) {
       "tiny caches are WORSE than no cache (maintenance + churn); response improves "
       "with capacity until the working set fits, then flattens.");
   grouting::bench::PrintFig9c();
+  grouting::bench::WriteBenchJson("fig9_cache_size",
+                                  {{"cache_capacity", &grouting::bench::Rows()}});
   return 0;
 }

@@ -14,6 +14,8 @@
 
 #include "bench/bench_common.h"
 
+#include <algorithm>
+
 namespace grouting {
 namespace bench {
 namespace {
@@ -21,6 +23,13 @@ namespace {
 ExperimentEnv& Env() {
   static ExperimentEnv env(DatasetId::kWebGraphLike, BenchScale());
   return env;
+}
+
+// Hotspot count honours GROUTING_BENCH_SCALE so the CI small-scale run
+// shrinks both sweep axes; the default scale (0.5) keeps the paper's
+// 100-hotspot stream.
+size_t ScaledHotspots() {
+  return std::max<size_t>(10, static_cast<size_t>(200.0 * BenchScale()));
 }
 
 std::vector<ResultRow>& ShardRows() {
@@ -38,6 +47,7 @@ void BM_RouterShards_Scheme(benchmark::State& state) {
   RunOptions opts;
   opts.scheme = scheme;
   opts.router_shards = shards;
+  opts.num_hotspots = ScaledHotspots();
   ClusterMetrics m;
   for (auto _ : state) {
     m = Env().Run(BenchEngine(), opts);
@@ -63,6 +73,7 @@ void BM_RouterShards_SplitterGossip(benchmark::State& state) {
   // with the paper's back-to-back stream every route happens before the
   // first gossip event and the comparison degenerates.
   opts.arrival_gap_us = 25.0;
+  opts.num_hotspots = ScaledHotspots();
   ClusterMetrics m;
   for (auto _ : state) {
     m = Env().Run(BenchEngine(), opts);
@@ -106,5 +117,8 @@ int main(int argc, char** argv) {
       "sticky/hash splitters keep hotspot runs on one shard (less EMA "
       "fragmentation than round-robin); enabling gossip lowers cross-shard "
       "divergence and lifts hit rate toward the 1-shard baseline.");
+  grouting::bench::WriteBenchJson("fig_router_shards",
+                                  {{"shards_x_scheme", &grouting::bench::ShardRows()},
+                                   {"splitter_x_gossip", &grouting::bench::GossipRows()}});
   return 0;
 }

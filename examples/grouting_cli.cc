@@ -79,6 +79,8 @@ void PrintHelp() {
       "  --migration-cap=<int>    sessions moved per rebalance round (default 8)\n"
       "  --session-capacity=<int> sticky/adaptive session bound (default 65536)\n"
       "  --arrival-gap=<µs>       sim inter-arrival gap       (default 0)\n"
+      "  --inflight-batches=<int> async multiget window per processor\n"
+      "                           (1 = synchronous level barrier, default 1)\n"
       "  --seed=<int>\n");
 }
 
@@ -166,6 +168,8 @@ int main(int argc, char** argv) {
   opts.session_capacity =
       static_cast<uint32_t>(flags.GetInt("session-capacity", 1 << 16));
   opts.arrival_gap_us = flags.GetDouble("arrival-gap", 0.0);
+  opts.max_inflight_batches =
+      static_cast<uint32_t>(flags.GetInt("inflight-batches", 1));
 
   const Graph& g = env.graph();
   std::printf("dataset %s (scale %.2f): %zu nodes, %zu edges\n", dataset_name.c_str(),
@@ -189,6 +193,11 @@ int main(int argc, char** argv) {
   t.AddRow({"bytes from storage", Table::Bytes(m.bytes_from_storage)});
   t.AddRow({"storage batches", Table::Int(static_cast<int64_t>(m.storage_batches))});
   t.AddRow({"steals", Table::Int(static_cast<int64_t>(m.steals))});
+  if (opts.max_inflight_batches > 1) {
+    t.AddRow({"inflight batch peak",
+              Table::Int(static_cast<int64_t>(m.batches_inflight_peak))});
+    t.AddRow({"fetch overlap", Table::Num(m.fetch_overlap_us / 1000.0, 3) + " ms"});
+  }
   if (opts.router_shards > 1) {
     t.AddRow({"router shards", Table::Int(static_cast<int64_t>(opts.router_shards)) +
                                    " (" + SplitterKindName(opts.splitter) + ")"});

@@ -1,5 +1,6 @@
 #include "src/core/cluster_engine.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/runtime/threaded_cluster.h"
@@ -27,6 +28,8 @@ ClusterEngine::ClusterEngine(const Graph& graph, const ClusterConfig& config,
   GROUTING_CHECK(config_.gossip_merge_weight >= 0.0 &&
                  config_.gossip_merge_weight <= 1.0);
   GROUTING_CHECK(config_.router_session_capacity > 0);
+  GROUTING_CHECK_MSG(config_.processor.max_inflight_batches > 0,
+                     "max_inflight_batches must be >= 1");
   storage_ = std::make_unique<StorageTier>(config_.num_storage_servers);
   if (placement != nullptr) {
     storage_->LoadGraph(graph, *placement);
@@ -47,6 +50,9 @@ void ClusterEngine::AddProcessorStats(ClusterMetrics* m) const {
     m->nodes_visited += proc->stats().nodes_visited;
     m->bytes_from_storage += proc->stats().bytes_fetched;
     m->storage_batches += proc->stats().storage_batches;
+    m->batches_inflight_peak =
+        std::max(m->batches_inflight_peak, proc->stats().batches_inflight_peak);
+    m->fetch_overlap_us += proc->stats().fetch_overlap_us;
   }
 }
 

@@ -50,6 +50,9 @@ std::string EngineKindName(EngineKind kind);
 struct ClusterConfig {
   uint32_t num_processors = 7;  // paper default tier split: 1 / 7 / 4
   uint32_t num_storage_servers = 4;
+  // Per-processor settings, including the async fetch pipeline's
+  // processor.max_inflight_batches window (1 = synchronous level barrier;
+  // > 1 = overlap cache probes with outstanding multiget batches).
   ProcessorConfig processor;
   bool enable_stealing = true;
   // Virtual-time cost model. Drives the simulated engine; the threaded
@@ -121,6 +124,12 @@ struct ClusterMetrics {
   uint64_t sessions_migrated = 0;
   uint64_t sticky_evictions = 0;
   double router_load_imbalance = 0.0;
+  // Async storage pipeline: peak concurrently outstanding multiget batches
+  // on any processor, and total time processors spent doing useful work
+  // (cache probes, merges, inserts) while at least one batch was in flight
+  // (virtual µs on the simulated engine, wall µs on the threaded one).
+  uint32_t batches_inflight_peak = 0;
+  double fetch_overlap_us = 0.0;
 
   double CacheHitRate() const {
     const uint64_t total = cache_hits + cache_misses;

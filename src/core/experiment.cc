@@ -113,6 +113,7 @@ ClusterConfig ExperimentEnv::MakeClusterConfig(const RunOptions& options) {
       options.cache_bytes == 0 ? AmpleCacheBytes() : options.cache_bytes;
   config.processor.cache_policy = options.cache_policy;
   config.processor.use_cache = options.scheme != RoutingSchemeKind::kNoCache;
+  config.processor.max_inflight_batches = options.max_inflight_batches;
   config.cost = options.cost;
   // The threaded engine cannot pace virtual time, but carrying the network
   // profile's propagation delay as an injected per-batch wait keeps

@@ -49,6 +49,9 @@ struct RunOptions {
   uint64_t cache_bytes = 0;
   CachePolicy cache_policy = CachePolicy::kLru;
   bool stealing = true;
+  // Async storage pipeline: bound on outstanding multiget batches per
+  // processor. 1 = the classic synchronous level barrier.
+  uint32_t max_inflight_batches = 1;
   // Router frontend tier: shards of the arrival stream, splitter kind, and
   // the load/EMA gossip between them (see src/frontend/).
   uint32_t router_shards = 1;

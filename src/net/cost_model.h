@@ -51,6 +51,11 @@ struct CostModel {
   // --- Processing tier ---
   // Traversal compute per visited node (neighbour iteration, aggregation).
   double compute_per_node_us = 0.40;
+  // Cost to open one async multiget batch (build request, doorbell) on the
+  // issuing processor. Charged only on the async pipeline
+  // (max_inflight_batches > 1); kept below cache_lookup_us-scale work so a
+  // single-batch level loses almost nothing to going async.
+  double batch_issue_us = 0.1;
   // Cache maintenance: probe cost per lookup, and insert cost (including
   // possible eviction) per miss brought into cache. These are what make a
   // too-small cache WORSE than no cache at all (paper Fig. 9).

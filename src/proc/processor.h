@@ -4,6 +4,15 @@
 // cache and (b) groups misses into per-storage-server multiget batches —
 // the unit the cost model charges network and service time for.
 //
+// Per traversal level the source runs an issue / probe / complete pipeline:
+// miss batches are opened as async multiget handles (StorageTier::
+// StartMultiGet) with at most `max_inflight_batches` outstanding, hits are
+// merged while batches are in flight, and completions install fetched
+// values into the cache in issue order. With max_inflight_batches == 1 and
+// no executor this degenerates to the classic synchronous path — byte-
+// identical cache state, stats and trace for every window, which is what
+// lets the window be a pure timing/overlap knob.
+//
 // Processors never talk to each other (paper Section 2.3); they only receive
 // queries and fetch from storage.
 
@@ -24,13 +33,21 @@ struct ProcessorConfig {
   uint64_t cache_bytes = 4ULL << 30;  // paper default: 4 GB per processor
   CachePolicy cache_policy = CachePolicy::kLru;
   bool use_cache = true;  // false = the paper's "no-cache" comparison scheme
+  // Bound on concurrently outstanding multiget batches per processor.
+  // 1 = the synchronous level-barrier path; > 1 = async issue/probe/complete
+  // pipeline (the sim replays it with per-batch completion events; the
+  // threaded runtime services handles on a per-processor fetch thread).
+  uint32_t max_inflight_batches = 1;
 };
 
 // NodeDataSource that fronts the storage tier with a processor-local cache.
 class CachedStorageSource : public NodeDataSource {
  public:
-  CachedStorageSource(StorageTier* storage, NodeCache<AdjacencyPtr>* cache)
-      : storage_(storage), cache_(cache) {
+  CachedStorageSource(StorageTier* storage, NodeCache<AdjacencyPtr>* cache,
+                      uint32_t max_inflight_batches = 1)
+      : storage_(storage),
+        cache_(cache),
+        window_(max_inflight_batches == 0 ? 1 : max_inflight_batches) {
     GROUTING_CHECK(storage_ != nullptr);
   }
 
@@ -38,9 +55,29 @@ class CachedStorageSource : public NodeDataSource {
   const FetchTrace& trace() const override { return trace_; }
   void ResetTrace() override { trace_.Clear(); }
 
+  // Installs the async seam: handles are submitted here instead of being
+  // executed inline, and completion overlap is measured in wall time.
+  // nullptr (the default) = inline execution on the calling thread.
+  void set_fetch_executor(BatchFetchExecutor* executor) { executor_ = executor; }
+  uint32_t window() const { return window_; }
+
  private:
+  // One outstanding multiget batch plus what is needed to install it.
+  struct Inflight {
+    std::shared_ptr<MultiGetHandle> handle;
+    std::vector<size_t> positions;  // result slots, parallel to handle keys
+  };
+
+  // Waits for the oldest in-flight batch and merges its values into
+  // `result`, the cache and the trace (issue order keeps this deterministic).
+  void CompleteOldest(std::vector<Inflight>* inflight, std::span<const NodeId> nodes,
+                      std::vector<AdjacencyPtr>* result, FetchTrace::Level* level,
+                      double* blocked_us);
+
   StorageTier* storage_;
   NodeCache<AdjacencyPtr>* cache_;  // nullptr = no-cache mode
+  uint32_t window_;
+  BatchFetchExecutor* executor_ = nullptr;
   FetchTrace trace_;
 };
 
@@ -51,6 +88,10 @@ struct ProcessorStats {
   uint64_t nodes_visited = 0;
   uint64_t bytes_fetched = 0;
   uint64_t storage_batches = 0;
+  // Async fetch pipeline (see FetchTrace): peak outstanding batches and
+  // accumulated overlap between in-flight fetches and processor-side work.
+  uint32_t batches_inflight_peak = 0;
+  double fetch_overlap_us = 0.0;
 };
 
 class QueryProcessor {
@@ -65,6 +106,11 @@ class QueryProcessor {
 
   const FetchTrace& last_trace() const { return source_->trace(); }
   const ProcessorStats& stats() const { return stats_; }
+  // Async fetch seam (threaded runtime): route this processor's multiget
+  // handles through `executor` instead of executing them inline.
+  void set_fetch_executor(BatchFetchExecutor* executor) {
+    source_->set_fetch_executor(executor);
+  }
   bool cache_enabled() const { return cache_ != nullptr; }
   NodeCache<AdjacencyPtr>* cache() { return cache_.get(); }
   const NodeCache<AdjacencyPtr>* cache() const { return cache_.get(); }

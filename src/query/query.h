@@ -87,6 +87,14 @@ struct FetchTrace {
   };
   std::vector<Level> level_stats;
 
+  // Async fetch pipeline (max_inflight_batches > 1, threaded runtime): peak
+  // number of concurrently outstanding multiget batches, and wall time the
+  // processor spent doing useful work (probes, merges, cache inserts) while
+  // at least one batch was in flight. Zero on the inline/synchronous path;
+  // the simulator computes its virtual-time equivalents during replay.
+  uint32_t max_batches_inflight = 0;
+  double async_overlap_us = 0.0;
+
   void Clear() { *this = FetchTrace{}; }
 };
 

@@ -1,9 +1,28 @@
 #include "src/runtime/threaded_cluster.h"
 
+#include <deque>
 #include <utility>
 
 namespace grouting {
 namespace {
+
+// Routes a processor's multiget handles onto its fetch thread. If the queue
+// is already closed (shutdown), the handle is serviced inline so no waiter
+// is ever stranded.
+class QueueFetchExecutor : public BatchFetchExecutor {
+ public:
+  explicit QueueFetchExecutor(MpmcQueue<std::shared_ptr<MultiGetHandle>>* queue)
+      : queue_(queue) {}
+
+  void Submit(std::shared_ptr<MultiGetHandle> handle) override {
+    if (!queue_->Push(handle)) {
+      handle->Execute();
+    }
+  }
+
+ private:
+  MpmcQueue<std::shared_ptr<MultiGetHandle>>* queue_;
+};
 
 void BusyWaitUs(double us) {
   if (us <= 0.0) {
@@ -58,6 +77,15 @@ ThreadedCluster::ThreadedCluster(const Graph& graph, const ClusterConfig& config
       arrival_channels_.push_back(std::make_unique<MpmcQueue<Query>>());
     }
   }
+  async_fetch_ = config_.processor.max_inflight_batches > 1;
+  if (async_fetch_) {
+    for (uint32_t p = 0; p < config_.num_processors; ++p) {
+      fetch_queues_.push_back(
+          std::make_unique<MpmcQueue<std::shared_ptr<MultiGetHandle>>>());
+      fetch_executors_.push_back(
+          std::make_unique<QueueFetchExecutor>(fetch_queues_.back().get()));
+    }
+  }
   samples_.resize(config_.num_processors);
 }
 
@@ -69,6 +97,12 @@ ThreadedCluster::~ThreadedCluster() {
   }
   for (auto& ch : channels_) {
     ch->Close();
+  }
+  // Closing the fetch queues before joining the processors is what keeps
+  // shutdown deadlock-free: queued handles are still drained (and completed)
+  // by their fetch thread, and submissions after the close run inline.
+  for (auto& q : fetch_queues_) {
+    q->Close();
   }
   if (feeder_thread_.joinable()) {
     feeder_thread_.join();
@@ -82,6 +116,11 @@ ThreadedCluster::~ThreadedCluster() {
     gossip_thread_.join();
   }
   for (auto& t : threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  for (auto& t : fetch_threads_) {
     if (t.joinable()) {
       t.join();
     }
@@ -236,6 +275,56 @@ void ThreadedCluster::GossipLoop() {
   }
 }
 
+void ThreadedCluster::FetchLoop(uint32_t p) {
+  // The fetch thread plays the wire + remote server for its processor: it
+  // services each multiget against the (internally synchronised) storage
+  // tier as soon as the request is popped, but completes the handle only
+  // once the injected round trip has elapsed. Because execution and
+  // completion are decoupled, up to `window` round trips ripen
+  // concurrently while the processor probes its cache — the wall-clock
+  // overlap the async pipeline exists for. Completion order is FIFO, which
+  // matches the processor's oldest-first Wait() order.
+  std::deque<std::pair<std::shared_ptr<MultiGetHandle>, Clock::time_point>> pending;
+  const auto rtt = std::chrono::nanoseconds(
+      static_cast<int64_t>(2.0 * config_.injected_network_us * 1000.0));
+  const auto ripen = [&pending] {
+    while (!pending.empty() && Clock::now() >= pending.front().second) {
+      pending.front().first->MarkDone();
+      pending.pop_front();
+    }
+  };
+  while (true) {
+    std::optional<std::shared_ptr<MultiGetHandle>> request;
+    if (pending.empty()) {
+      request = fetch_queues_[p]->Pop();  // blocks; nullopt = closed + drained
+      if (!request.has_value()) {
+        break;
+      }
+    } else {
+      // Keep servicing new requests while earlier round trips ripen — a
+      // batch submitted during another's flight must start its own trip
+      // immediately, or the window degenerates back to serial RTTs.
+      request = fetch_queues_[p]->TryPop();
+      if (!request.has_value()) {
+        ripen();
+        // Yield rather than hard-spin: ripening is dead time, and on a
+        // core-starved host the processor thread needs the cycles more
+        // than the completion needs sub-microsecond precision.
+        std::this_thread::yield();
+        continue;
+      }
+    }
+    const auto sent_at = Clock::now();
+    (*request)->ExecuteOnly();
+    pending.emplace_back(std::move(*request), sent_at + rtt);
+    ripen();
+  }
+  while (!pending.empty()) {
+    std::this_thread::yield();
+    ripen();
+  }
+}
+
 void ThreadedCluster::ProcessorLoop(uint32_t p) {
   LatencySamples& samples = samples_[p];
   while (!shutdown_.load(std::memory_order_acquire) &&
@@ -261,8 +350,11 @@ void ThreadedCluster::ProcessorLoop(uint32_t p) {
       rs.strategy->OnDispatch(routed.query.node, p, routed.target);
     }
     QueryResult result = processors_[p]->Execute(routed.query);
-    if (config_.injected_network_us > 0.0) {
-      // Two one-way hops per storage batch of the query just executed.
+    if (config_.injected_network_us > 0.0 && !async_fetch_) {
+      // Synchronous path: two one-way hops per storage batch of the query
+      // just executed, serialised after the fact. The async pipeline incurs
+      // the same per-batch round trip inside FetchLoop instead, where the
+      // trips overlap with each other and with the processor's cache work.
       const auto batches = processors_[p]->last_trace().batches.size();
       BusyWaitUs(2.0 * config_.injected_network_us * static_cast<double>(batches));
     }
@@ -299,6 +391,15 @@ ClusterMetrics ThreadedCluster::Run(std::span<const Query> queries) {
                        (adaptive_ && rebalance_.enabled()));
 
   const auto start = Clock::now();
+  if (async_fetch_) {
+    // Fetch threads first, and only then the executor seam: a processor
+    // must never submit a handle nobody will service.
+    fetch_threads_.reserve(config_.num_processors);
+    for (uint32_t p = 0; p < config_.num_processors; ++p) {
+      fetch_threads_.emplace_back([this, p] { FetchLoop(p); });
+      processors_[p]->set_fetch_executor(fetch_executors_[p].get());
+    }
+  }
   threads_.reserve(config_.num_processors);
   for (uint32_t p = 0; p < config_.num_processors; ++p) {
     threads_.emplace_back([this, p] { ProcessorLoop(p); });
@@ -341,6 +442,13 @@ ClusterMetrics ThreadedCluster::Run(std::span<const Query> queries) {
     t.join();
   }
   threads_.clear();
+  for (auto& q : fetch_queues_) {
+    q->Close();
+  }
+  for (auto& t : fetch_threads_) {
+    t.join();
+  }
+  fetch_threads_.clear();
 
   ClusterMetrics m;
   m.queries = answers_.size();

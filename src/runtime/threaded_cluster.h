@@ -21,6 +21,14 @@
 //   P processor threads : drain their channel; when empty they STEAL from
 //                    the longest sibling channel; every dispatch is fed
 //                    back to the routing shard's strategy (steal-aware),
+//   P fetch threads : (max_inflight_batches > 1) each processor's async
+//                    multiget handles are serviced on its own fetch thread:
+//                    the gets run against the shared storage tier while the
+//                    processor keeps probing its cache and merging earlier
+//                    batches, and the handle completes only once the
+//                    injected network round trip has elapsed — so up to
+//                    `window` round trips overlap instead of serialising
+//                    after execution as on the synchronous path,
 //   storage tier   : shared, internally synchronised per server.
 //
 // The simulator answers "what would the paper's cluster do"; this runtime
@@ -90,6 +98,7 @@ class ThreadedCluster : public ClusterEngine {
   void RouterShardLoop(uint32_t shard, std::span<const Query> slice);
   void GossipLoop();
   void ProcessorLoop(uint32_t p);
+  void FetchLoop(uint32_t p);
   bool StealInto(uint32_t thief, Routed* out);
 
   // One router shard: its own strategy instance behind its own mutex. The
@@ -126,6 +135,14 @@ class ThreadedCluster : public ClusterEngine {
   std::thread feeder_thread_;
   std::atomic<bool> arrivals_done_{false};
   std::atomic<uint64_t> sessions_migrated_{0};
+
+  // Async fetch pipeline (config.processor.max_inflight_batches > 1): a
+  // per-processor request queue + fetch thread pair; executors are installed
+  // on the processors' sources only while the fetch threads run.
+  bool async_fetch_;
+  std::vector<std::unique_ptr<MpmcQueue<std::shared_ptr<MultiGetHandle>>>> fetch_queues_;
+  std::vector<std::unique_ptr<BatchFetchExecutor>> fetch_executors_;
+  std::vector<std::thread> fetch_threads_;
 };
 
 }  // namespace grouting

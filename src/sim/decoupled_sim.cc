@@ -90,6 +90,11 @@ ClusterMetrics DecoupledClusterSim::Run(std::span<const Query> queries) {
   m.sessions_migrated = fleet_->splitter().stats().migrations;
   m.sticky_evictions = fleet_->splitter().stats().evictions;
   m.router_load_imbalance = RoutedLoadImbalance(m.queries_per_router_shard);
+  // The replay model's numbers are authoritative here: the functional layer
+  // executed inline, so the wall-clock overlap AddProcessorStats summed is
+  // meaningless for the simulated engine.
+  m.batches_inflight_peak = batches_inflight_peak_;
+  m.fetch_overlap_us = total_fetch_overlap_us_;
   return m;
 }
 
@@ -136,9 +141,8 @@ void DecoupledClusterSim::TryDispatch(uint32_t p) {
 
 void DecoupledClusterSim::AdvanceLevel(uint32_t p) {
   InFlight& f = in_flight_[p];
-  const FetchTrace& trace = f.trace;
 
-  if (f.next_level >= trace.level_stats.size()) {
+  if (f.next_level >= f.trace.level_stats.size()) {
     // Query complete: result travels back to the router (the ack that lets
     // the router send the next query to this processor).
     const SimTimeUs response = events_.now() - f.dispatch_time;
@@ -153,6 +157,16 @@ void DecoupledClusterSim::AdvanceLevel(uint32_t p) {
     return;
   }
 
+  if (config_.processor.max_inflight_batches > 1) {
+    StartLevelAsync(p);
+  } else {
+    StartLevelSync(p);
+  }
+}
+
+void DecoupledClusterSim::StartLevelSync(uint32_t p) {
+  InFlight& f = in_flight_[p];
+  const FetchTrace& trace = f.trace;
   const FetchTrace::Level& level = trace.level_stats[f.next_level];
   const CostModel& cost = config_.cost;
   const SimTimeUs probes_done =
@@ -165,6 +179,9 @@ void DecoupledClusterSim::AdvanceLevel(uint32_t p) {
          trace.batches[batch_end].level == f.next_level) {
     ++batch_end;
   }
+  // No inflight-peak recording here: like the threaded engine, the
+  // synchronous path reports 0 — the barrier model predates the window and
+  // its per-level fan-out is not bounded by max_inflight_batches.
   f.next_batch = batch_end;
   f.batches_outstanding = static_cast<uint32_t>(batch_end - batch_begin);
   f.level_fetch_done = probes_done;
@@ -180,7 +197,10 @@ void DecoupledClusterSim::AdvanceLevel(uint32_t p) {
     }
     t += cm.compute_per_node_us * static_cast<double>(lvl.hits + lvl.fetched);
     fl.next_level += 1;
-    events_.ScheduleAt(std::max(t, events_.now()), [this, p] { AdvanceLevel(p); });
+    const SimTimeUs close = std::max(t, events_.now());
+    level_completions_.push_back(LevelCompletion{
+        fl.query.id, p, static_cast<uint32_t>(fl.next_level - 1), close});
+    events_.ScheduleAt(close, [this, p] { AdvanceLevel(p); });
   };
 
   if (f.batches_outstanding == 0) {
@@ -212,6 +232,111 @@ void DecoupledClusterSim::AdvanceLevel(uint32_t p) {
       });
     });
   }
+}
+
+void DecoupledClusterSim::StartLevelAsync(uint32_t p) {
+  InFlight& f = in_flight_[p];
+  const FetchTrace& trace = f.trace;
+  const FetchTrace::Level& level = trace.level_stats[f.next_level];
+  const CostModel& cost = config_.cost;
+
+  const size_t batch_begin = f.next_batch;
+  size_t batch_end = batch_begin;
+  while (batch_end < trace.batches.size() &&
+         trace.batches[batch_end].level == f.next_level) {
+    ++batch_end;
+  }
+  f.next_batch = batch_end;
+  f.level_batch_end = batch_end;
+  const size_t num_batches = batch_end - batch_begin;
+  const size_t first_wave =
+      std::min<size_t>(config_.processor.max_inflight_batches, num_batches);
+
+  // Issue phase: the CPU opens the first window of batches back to back,
+  // each departing the moment its issue work is done — BEFORE the probe
+  // pass, which is the whole point of the async pipeline.
+  SimTimeUs t = events_.now();
+  for (size_t j = 0; j < first_wave; ++j) {
+    t += cost.batch_issue_us;
+    const size_t b = batch_begin + j;
+    events_.ScheduleAt(t, [this, p, b] { DepartBatchAsync(p, b); });
+  }
+  f.issue_done = t;
+  // Probe phase + hit-side compute overlap with the outstanding batches.
+  f.hit_work_done = t + cost.cache_lookup_us * static_cast<double>(level.lookups) +
+                    cost.compute_per_node_us * static_cast<double>(level.hits);
+  f.cpu_free = f.hit_work_done;
+  f.next_unissued = batch_begin + first_wave;
+  f.batches_outstanding = static_cast<uint32_t>(first_wave);
+  f.last_reply = events_.now();
+  f.level_inflight_peak = static_cast<uint32_t>(first_wave);
+
+  if (num_batches == 0) {
+    events_.ScheduleAt(f.hit_work_done, [this, p] { FinishLevelAsync(p); });
+  }
+}
+
+void DecoupledClusterSim::DepartBatchAsync(uint32_t p, size_t batch_index) {
+  const FetchTrace::Batch batch = in_flight_[p].trace.batches[batch_index];
+  const SimTimeUs arrive = events_.now() + config_.cost.net.one_way_us;
+  events_.ScheduleAt(arrive, [this, p, batch_index, batch] {
+    const CostModel& cm = config_.cost;
+    // FIFO service at the storage server — shared with the sync model, so
+    // async batches contend with every other processor's identically.
+    const SimTimeUs start = std::max(events_.now(), server_busy_until_[batch.server]);
+    const SimTimeUs done = start + cm.storage_request_base_us +
+                           cm.storage_per_value_us * static_cast<double>(batch.values);
+    server_busy_until_[batch.server] = done;
+    const SimTimeUs reply = done + cm.net.one_way_us +
+                            cm.net.per_kb_us * static_cast<double>(batch.bytes) / 1024.0;
+    events_.ScheduleAt(reply,
+                       [this, p, batch_index] { ReplyBatchAsync(p, batch_index); });
+  });
+}
+
+void DecoupledClusterSim::ReplyBatchAsync(uint32_t p, size_t batch_index) {
+  InFlight& f = in_flight_[p];
+  const FetchTrace::Batch& batch = f.trace.batches[batch_index];
+  const CostModel& cm = config_.cost;
+
+  f.last_reply = std::max(f.last_reply, events_.now());
+  GROUTING_CHECK(f.batches_outstanding > 0);
+  --f.batches_outstanding;
+
+  // A freed window slot immediately issues the next pending batch.
+  if (f.next_unissued < f.level_batch_end) {
+    const size_t next = f.next_unissued++;
+    ++f.batches_outstanding;
+    f.level_inflight_peak = std::max(f.level_inflight_peak, f.batches_outstanding);
+    events_.ScheduleAfter(cm.batch_issue_us,
+                          [this, p, next] { DepartBatchAsync(p, next); });
+  }
+
+  // This reply's inserts + compute join the processor's CPU timeline (the
+  // CPU is busy with probes/earlier replies until cpu_free).
+  const SimTimeUs post_start = std::max(events_.now(), f.cpu_free);
+  SimTimeUs post_us = cm.compute_per_node_us * static_cast<double>(batch.values);
+  if (processors_[p]->cache_enabled()) {
+    post_us += cm.cache_insert_us * static_cast<double>(batch.values);
+  }
+  f.cpu_free = post_start + post_us;
+
+  if (f.batches_outstanding == 0 && f.next_unissued >= f.level_batch_end) {
+    events_.ScheduleAt(std::max(f.cpu_free, f.hit_work_done),
+                       [this, p] { FinishLevelAsync(p); });
+  }
+}
+
+void DecoupledClusterSim::FinishLevelAsync(uint32_t p) {
+  InFlight& f = in_flight_[p];
+  // Probe/hit work that ran while at least one batch was in flight.
+  total_fetch_overlap_us_ +=
+      std::max(0.0, std::min(f.hit_work_done, f.last_reply) - f.issue_done);
+  batches_inflight_peak_ = std::max(batches_inflight_peak_, f.level_inflight_peak);
+  level_completions_.push_back(LevelCompletion{
+      f.query.id, p, static_cast<uint32_t>(f.next_level), events_.now()});
+  f.next_level += 1;
+  AdvanceLevel(p);
 }
 
 }  // namespace grouting

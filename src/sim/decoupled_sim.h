@@ -14,6 +14,23 @@
 // and temporal behaviour (who waits for whom) consistent while staying
 // deterministic.
 //
+// Two level-replay models share the storage/network events:
+//   * max_inflight_batches == 1 — the classic synchronous barrier: probes
+//     first, then every miss batch fans out and the level blocks on the
+//     slowest reply before inserts + compute close it.
+//   * max_inflight_batches  > 1 — the async pipeline: up to `window` batches
+//     are issued eagerly (batch_issue_us each) BEFORE the probe work, cache
+//     probes + hit compute run while they are in flight, each reply's
+//     inserts/compute are processed as it lands (FIFO on the processor's
+//     CPU timeline), and a freed window slot immediately issues the next
+//     batch. The level closes when probe-side and every batch's post-
+//     processing are done — a per-batch completion structure instead of one
+//     barrier, which is exactly what hides probe/merge work under fetch
+//     round trips. (The membership test that forms the miss batches is
+//     treated as free; the charged probe work is the per-hit recency/
+//     materialisation/merge cost a real processor defers until the batches
+//     are on the wire.)
+//
 // This is the EngineKind::kSimulated implementation of ClusterEngine; the
 // threaded runtime (src/runtime/) is its wall-clock twin.
 
@@ -50,11 +67,34 @@ class DecoupledClusterSim : public ClusterEngine {
   // The classic single-router view (shard 0) — fleet().shard(s) for others.
   Router& router() { return fleet_->shard(0); }
 
+  // Replay audit: every (query, level) completion in virtual-time order.
+  // Model-check tests use it to prove the async pipeline never reorders a
+  // query's level semantics, whatever the window.
+  struct LevelCompletion {
+    uint64_t query_id = 0;
+    uint32_t processor = 0;
+    uint32_t level = 0;
+    SimTimeUs time = 0.0;
+  };
+  const std::vector<LevelCompletion>& level_completions() const {
+    return level_completions_;
+  }
+
  private:
   // Asks the router fleet for work for processor p; begins execution or idles.
   void TryDispatch(uint32_t p);
-  // Advances the in-flight query on processor p to its next traversal level.
+  // Advances the in-flight query on processor p to its next traversal level
+  // (or completes it), dispatching to the sync or async level model.
   void AdvanceLevel(uint32_t p);
+  void StartLevelSync(uint32_t p);
+  void StartLevelAsync(uint32_t p);
+  // Async pipeline: departure of one issued batch towards its server, and
+  // the reply landing back at the processor.
+  void DepartBatchAsync(uint32_t p, size_t batch_index);
+  void ReplyBatchAsync(uint32_t p, size_t batch_index);
+  // Closes the current level once probe-side and batch post-processing are
+  // done; records the audit entry and schedules the next AdvanceLevel.
+  void FinishLevelAsync(uint32_t p);
   // Self-rescheduling load/EMA gossip event (stops once the run drains).
   void GossipTick(size_t total_queries);
 
@@ -68,6 +108,14 @@ class DecoupledClusterSim : public ClusterEngine {
     SimTimeUs level_fetch_done = 0.0;
     SimTimeUs dispatch_time = 0.0;
     SimTimeUs arrival_time = 0.0;
+    // Async pipeline state for the level being replayed.
+    size_t level_batch_end = 0;   // one past this level's last batch index
+    size_t next_unissued = 0;     // next batch index awaiting a window slot
+    SimTimeUs issue_done = 0.0;   // CPU done issuing the first wave
+    SimTimeUs hit_work_done = 0.0;  // probes + hit-compute finished
+    SimTimeUs cpu_free = 0.0;     // processor CPU timeline (post-processing)
+    SimTimeUs last_reply = 0.0;
+    uint32_t level_inflight_peak = 0;
   };
 
   EventQueue events_;
@@ -81,6 +129,11 @@ class DecoupledClusterSim : public ClusterEngine {
   // Time of the last completion ack back at the router: the run's makespan.
   // Tracked explicitly so trailing gossip events cannot inflate it.
   SimTimeUs last_ack_us_ = 0.0;
+  // Replay-model async metrics (authoritative for the sim: the functional
+  // layer executes inline, so its wall-clock overlap is meaningless here).
+  double total_fetch_overlap_us_ = 0.0;
+  uint32_t batches_inflight_peak_ = 0;
+  std::vector<LevelCompletion> level_completions_;
 };
 
 }  // namespace grouting

@@ -15,6 +15,27 @@ AdjacencyPtr StorageServer::Get(NodeId node) {
   return DecodeAdjacency(*blob);
 }
 
+std::vector<AdjacencyPtr> StorageServer::MultiGet(std::span<const NodeId> nodes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  static_assert(sizeof(NodeId) <= sizeof(uint64_t));
+  std::vector<uint64_t> keys(nodes.begin(), nodes.end());
+  const auto blobs = store_.MultiGet(keys);
+  std::vector<AdjacencyPtr> result;
+  result.reserve(nodes.size());
+  for (const auto& blob : blobs) {
+    ++stats_.get_requests;
+    if (!blob.has_value()) {
+      ++stats_.misses;
+      result.push_back(nullptr);
+      continue;
+    }
+    ++stats_.values_served;
+    stats_.bytes_served += blob->size();
+    result.push_back(DecodeAdjacency(*blob));
+  }
+  return result;
+}
+
 StorageTier::StorageTier(size_t num_servers, uint32_t hash_seed) : hasher_(hash_seed) {
   GROUTING_CHECK(num_servers > 0);
   servers_.reserve(num_servers);
@@ -50,6 +71,13 @@ uint32_t StorageTier::ServerOf(NodeId node) const {
 
 AdjacencyPtr StorageTier::Get(NodeId node) {
   return servers_[ServerOf(node)]->Get(node);
+}
+
+std::shared_ptr<MultiGetHandle> StorageTier::StartMultiGet(uint32_t server,
+                                                           std::vector<NodeId> keys) {
+  GROUTING_CHECK(server < servers_.size());
+  servers_[server]->NoteBatch();
+  return std::make_shared<MultiGetHandle>(servers_[server].get(), std::move(keys));
 }
 
 uint64_t StorageTier::TotalLiveBytes() const {

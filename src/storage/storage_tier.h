@@ -6,6 +6,8 @@
 #ifndef GROUTING_SRC_STORAGE_STORAGE_TIER_H_
 #define GROUTING_SRC_STORAGE_STORAGE_TIER_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -43,6 +45,11 @@ class StorageServer {
   // Fetches and decodes one adjacency entry; nullptr if absent.
   AdjacencyPtr Get(NodeId node);
 
+  // Services one multiget batch: takes the server mutex once, looks up and
+  // decodes every key (nullptr where absent), positionally matching `nodes`.
+  // Stats are updated exactly as the equivalent sequence of Get() calls.
+  std::vector<AdjacencyPtr> MultiGet(std::span<const NodeId> nodes);
+
   void Delete(NodeId node) {
     std::lock_guard<std::mutex> lock(mu_);
     store_.Delete(node);
@@ -67,6 +74,72 @@ class StorageServer {
   StorageServerStats stats_;
 };
 
+// One asynchronous multiget request against a single storage server: the
+// handle is created by StorageTier::StartMultiGet, executed by whichever
+// thread plays the "wire" (the issuing thread itself, or a per-processor
+// fetch thread in the threaded runtime), and completed exactly once. The
+// issuing processor overlaps cache probes with the outstanding request and
+// collects the values with Wait().
+class MultiGetHandle {
+ public:
+  MultiGetHandle(StorageServer* server, std::vector<NodeId> keys)
+      : server_(server), keys_(std::move(keys)) {}
+
+  MultiGetHandle(const MultiGetHandle&) = delete;
+  MultiGetHandle& operator=(const MultiGetHandle&) = delete;
+
+  uint32_t server_id() const { return server_->id(); }
+  const std::vector<NodeId>& keys() const { return keys_; }
+
+  // Services the request against the server (thread-safe; the server
+  // serialises internally) and publishes completion. Call exactly once.
+  // Execute() both fetches and completes; ExecuteOnly() + MarkDone() let a
+  // fetch thread service the gets first and hold the completion back until a
+  // modelled network round trip has elapsed.
+  void Execute() {
+    ExecuteOnly();
+    MarkDone();
+  }
+  void ExecuteOnly() { values_ = server_->MultiGet(keys_); }
+  void MarkDone() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool done() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return done_;
+  }
+
+  // Blocks until completion; the returned values positionally match keys().
+  const std::vector<AdjacencyPtr>& Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return done_; });
+    return values_;
+  }
+
+ private:
+  StorageServer* server_;
+  std::vector<NodeId> keys_;
+  std::vector<AdjacencyPtr> values_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+};
+
+// Seam between "who issues a multiget" and "who runs it". The default
+// (nullptr executor at the call sites) services the request inline on the
+// issuing thread; the threaded runtime submits to a per-processor fetch
+// thread so the request genuinely overlaps with the processor's cache work.
+class BatchFetchExecutor {
+ public:
+  virtual ~BatchFetchExecutor() = default;
+  virtual void Submit(std::shared_ptr<MultiGetHandle> handle) = 0;
+};
+
 class StorageTier {
  public:
   explicit StorageTier(size_t num_servers, uint32_t hash_seed = 0x9747b28cu);
@@ -81,6 +154,12 @@ class StorageTier {
 
   // Fetch through the tier (resolves the owning server).
   AdjacencyPtr Get(NodeId node);
+
+  // Opens an async multiget against one server (counted as one batch for
+  // that server's queueing stats). The handle is NOT serviced yet — hand it
+  // to a BatchFetchExecutor, or call Execute() inline, then Wait().
+  std::shared_ptr<MultiGetHandle> StartMultiGet(uint32_t server,
+                                                std::vector<NodeId> keys);
 
   StorageServer& server(size_t i) { return *servers_[i]; }
   const StorageServer& server(size_t i) const { return *servers_[i]; }

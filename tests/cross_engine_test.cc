@@ -145,6 +145,61 @@ TEST_F(CrossEngineTest, ShardedAdaptiveParityForEveryScheme) {
   }
 }
 
+TEST_F(CrossEngineTest, AsyncWindowParityForEveryScheme) {
+  // The async storage pipeline (max_inflight_batches > 1) reshapes WHEN
+  // fetches happen — per-batch completion events in the sim, per-processor
+  // fetch threads in the runtime — but answer parity between the engines
+  // must hold exactly as on the synchronous path, and window=1 must stay
+  // answer-identical to the async windows.
+  const Graph& g = env_->graph();
+  const auto queries = env_->HotspotWorkload(2, 2, 25, 4);
+
+  for (const RoutingSchemeKind scheme : kAllSchemes) {
+    SCOPED_TRACE(RoutingSchemeKindName(scheme));
+    RunOptions opts = SmallRun(scheme);
+    opts.max_inflight_batches = 4;
+    const ClusterConfig config = env_->MakeClusterConfig(opts);
+
+    auto sim = MakeClusterEngine(EngineKind::kSimulated, g, config,
+                                 env_->MakeStrategy(opts));
+    auto threaded = MakeClusterEngine(EngineKind::kThreaded, g, config,
+                                      env_->MakeStrategy(opts));
+    const ClusterMetrics sim_m = sim->Run(queries);
+    const ClusterMetrics thr_m = threaded->Run(queries);
+    ASSERT_EQ(sim_m.queries, queries.size());
+    ASSERT_EQ(thr_m.queries, queries.size());
+    EXPECT_GE(sim_m.batches_inflight_peak, 1u);
+
+    RunOptions sync_opts = SmallRun(scheme);
+    sync_opts.max_inflight_batches = 1;
+    auto sync_sim = MakeClusterEngine(EngineKind::kSimulated, g,
+                                      env_->MakeClusterConfig(sync_opts),
+                                      env_->MakeStrategy(sync_opts));
+    sync_sim->Run(queries);
+
+    const auto sim_answers = SortedAnswers(*sim);
+    const auto thr_answers = SortedAnswers(*threaded);
+    const auto sync_answers = SortedAnswers(*sync_sim);
+    ASSERT_EQ(sim_answers.size(), thr_answers.size());
+    ASSERT_EQ(sim_answers.size(), sync_answers.size());
+    for (size_t i = 0; i < sim_answers.size(); ++i) {
+      const AnsweredQuery& a = sim_answers[i];
+      const AnsweredQuery& b = thr_answers[i];
+      const AnsweredQuery& c = sync_answers[i];
+      ASSERT_EQ(a.query_id, b.query_id) << "answer " << i;
+      ASSERT_EQ(a.query_id, c.query_id) << "answer " << i;
+      EXPECT_EQ(a.result.aggregate, b.result.aggregate) << "query " << a.query_id;
+      EXPECT_EQ(a.result.walk_end, b.result.walk_end) << "query " << a.query_id;
+      EXPECT_EQ(a.result.reachable, b.result.reachable) << "query " << a.query_id;
+      EXPECT_EQ(a.result.distance, b.result.distance) << "query " << a.query_id;
+      EXPECT_EQ(a.result.aggregate, c.result.aggregate) << "query " << a.query_id;
+      EXPECT_EQ(a.result.walk_end, c.result.walk_end) << "query " << a.query_id;
+      EXPECT_EQ(a.result.reachable, c.result.reachable) << "query " << a.query_id;
+      EXPECT_EQ(a.result.distance, c.result.distance) << "query " << a.query_id;
+    }
+  }
+}
+
 TEST_F(CrossEngineTest, EnvRunWorksOnBothEnginesForEveryScheme) {
   for (const RoutingSchemeKind scheme : kAllSchemes) {
     SCOPED_TRACE(RoutingSchemeKindName(scheme));

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Bench-trajectory regression gate.
+
+Compares the BENCH_<name>.json files a CI bench run just produced against
+the checked-in baselines under bench/baselines/ and fails (exit 1) when any
+row's mean latency regressed by more than the threshold (default 25%).
+
+Rows are joined on (group, label). Rows that only exist on one side are
+reported but do not fail the gate (sweeps evolve); a bench with a baseline
+but no current file fails, so a silently-dropped bench cannot pass.
+
+Only deterministic metrics should be gated: CI runs this on the simulated
+engine (virtual time), never on threaded wall-clock numbers.
+
+Usage:
+  tools/check_bench_regression.py --current <dir> [--baseline bench/baselines]
+      [--threshold 0.25] [--metric mean_response_ms]
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def rows_by_key(doc):
+    return {(r.get("group", ""), r["label"]): r for r in doc.get("results", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--current", required=True, help="directory with fresh BENCH_*.json")
+    ap.add_argument("--baseline", default="bench/baselines")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="fail when metric > baseline * (1 + threshold)")
+    ap.add_argument("--metric", default="mean_response_ms")
+    args = ap.parse_args()
+
+    baselines = sorted(glob.glob(os.path.join(args.baseline, "BENCH_*.json")))
+    if not baselines:
+        print(f"no baselines under {args.baseline}; nothing to gate")
+        return 0
+
+    failures = []
+    compared = 0
+    for base_path in baselines:
+        name = os.path.basename(base_path)
+        cur_path = os.path.join(args.current, name)
+        if not os.path.exists(cur_path):
+            failures.append(f"{name}: baseline exists but the bench produced no result")
+            continue
+        base_doc, cur_doc = load(base_path), load(cur_path)
+        if base_doc.get("engine") != cur_doc.get("engine"):
+            print(f"{name}: engine mismatch ({base_doc.get('engine')} vs "
+                  f"{cur_doc.get('engine')}); skipping")
+            continue
+        base_rows, cur_rows = rows_by_key(base_doc), rows_by_key(cur_doc)
+        for key, base_row in sorted(base_rows.items()):
+            cur_row = cur_rows.get(key)
+            if cur_row is None:
+                print(f"{name}: row {key} missing from current run (sweep changed?)")
+                continue
+            base_v, cur_v = base_row.get(args.metric), cur_row.get(args.metric)
+            if base_v is None or cur_v is None or base_v <= 0:
+                continue
+            compared += 1
+            ratio = cur_v / base_v
+            if ratio > 1.0 + args.threshold:
+                failures.append(
+                    f"{name}: {'/'.join(key)}: {args.metric} {cur_v:.4g} vs "
+                    f"baseline {base_v:.4g} (+{100 * (ratio - 1):.1f}%)")
+        extra = set(cur_rows) - set(base_rows)
+        for key in sorted(extra):
+            print(f"{name}: new row {key} (no baseline yet)")
+
+    print(f"compared {compared} rows against {len(baselines)} baseline files")
+    if failures:
+        print(f"\nREGRESSION GATE FAILED (>{100 * args.threshold:.0f}% on {args.metric}):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
