@@ -165,13 +165,17 @@ inline void WriteBenchJson(const std::string& name,
                    "\"p95_response_ms\": %.6g, \"hit_rate\": %.6g, "
                    "\"cache_hits\": %llu, \"cache_misses\": %llu, "
                    "\"storage_batches\": %llu, \"steals\": %llu, "
-                   "\"batches_inflight_peak\": %u, \"fetch_overlap_us\": %.6g}",
+                   "\"batches_inflight_peak\": %u, \"fetch_overlap_us\": %.6g, "
+                   "\"storage_load_imbalance\": %.6g, \"partitions_migrated\": %llu, "
+                   "\"repartition_stall_us\": %.6g}",
                    m.throughput_qps, m.mean_response_ms, m.p95_response_ms,
                    m.CacheHitRate(), static_cast<unsigned long long>(m.cache_hits),
                    static_cast<unsigned long long>(m.cache_misses),
                    static_cast<unsigned long long>(m.storage_batches),
                    static_cast<unsigned long long>(m.steals), m.batches_inflight_peak,
-                   m.fetch_overlap_us);
+                   m.fetch_overlap_us, m.storage_load_imbalance,
+                   static_cast<unsigned long long>(m.partitions_migrated),
+                   m.repartition_stall_us);
       first = false;
     }
   }

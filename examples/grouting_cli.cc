@@ -81,6 +81,13 @@ void PrintHelp() {
       "  --arrival-gap=<µs>       sim inter-arrival gap       (default 0)\n"
       "  --inflight-batches=<int> async multiget window per processor\n"
       "                           (1 = synchronous level barrier, default 1)\n"
+      "  --repartition-threshold=<ratio>  storage-tier repartition trigger\n"
+      "                           (max/min server access rate; <=1 disables,\n"
+      "                           default 0)\n"
+      "  --repartition-cap=<int>  partitions moved per repartition round\n"
+      "                           (default 4)\n"
+      "  --partitions-per-server=<int>  virtual partitions per storage server\n"
+      "                           (migration granularity, default 8)\n"
       "  --seed=<int>\n");
 }
 
@@ -170,6 +177,10 @@ int main(int argc, char** argv) {
   opts.arrival_gap_us = flags.GetDouble("arrival-gap", 0.0);
   opts.max_inflight_batches =
       static_cast<uint32_t>(flags.GetInt("inflight-batches", 1));
+  opts.repartition_threshold = flags.GetDouble("repartition-threshold", 0.0);
+  opts.repartition_cap = static_cast<uint32_t>(flags.GetInt("repartition-cap", 4));
+  opts.partitions_per_server =
+      static_cast<uint32_t>(flags.GetInt("partitions-per-server", 8));
 
   const Graph& g = env.graph();
   std::printf("dataset %s (scale %.2f): %zu nodes, %zu edges\n", dataset_name.c_str(),
@@ -192,7 +203,15 @@ int main(int argc, char** argv) {
                                        Table::Int(static_cast<int64_t>(m.cache_misses))});
   t.AddRow({"bytes from storage", Table::Bytes(m.bytes_from_storage)});
   t.AddRow({"storage batches", Table::Int(static_cast<int64_t>(m.storage_batches))});
+  t.AddRow({"storage load imbalance",
+            Table::Num(m.storage_load_imbalance, 2) + " max/min"});
   t.AddRow({"steals", Table::Int(static_cast<int64_t>(m.steals))});
+  if (env.MakeClusterConfig(opts).MakeRepartitionConfig().enabled()) {
+    t.AddRow({"partitions migrated",
+              Table::Int(static_cast<int64_t>(m.partitions_migrated))});
+    t.AddRow(
+        {"repartition stall", Table::Num(m.repartition_stall_us / 1000.0, 3) + " ms"});
+  }
   if (opts.max_inflight_batches > 1) {
     t.AddRow({"inflight batch peak",
               Table::Int(static_cast<int64_t>(m.batches_inflight_peak))});

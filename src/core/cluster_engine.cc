@@ -30,7 +30,14 @@ ClusterEngine::ClusterEngine(const Graph& graph, const ClusterConfig& config,
   GROUTING_CHECK(config_.router_session_capacity > 0);
   GROUTING_CHECK_MSG(config_.processor.max_inflight_batches > 0,
                      "max_inflight_batches must be >= 1");
+  repartition_config_ = config_.MakeRepartitionConfig();
   storage_ = std::make_unique<StorageTier>(config_.num_storage_servers);
+  if (repartition_config_.enabled()) {
+    GROUTING_CHECK_MSG(placement == nullptr,
+                       "storage repartitioning is incompatible with an explicit "
+                       "storage placement");
+    storage_->EnableRepartitioning(repartition_config_.partitions_per_server);
+  }
   if (placement != nullptr) {
     storage_->LoadGraph(graph, *placement);
   } else {
@@ -54,6 +61,28 @@ void ClusterEngine::AddProcessorStats(ClusterMetrics* m) const {
         std::max(m->batches_inflight_peak, proc->stats().batches_inflight_peak);
     m->fetch_overlap_us += proc->stats().fetch_overlap_us;
   }
+}
+
+void ClusterEngine::AddStorageTierStats(ClusterMetrics* m) const {
+  m->storage_load_imbalance = StorageLoadImbalance(storage_->GetRequestsPerServer());
+  m->partitions_migrated = partitions_migrated_;
+}
+
+std::vector<StorageTier::MigrationResult> ClusterEngine::RepartitionRound() {
+  std::vector<StorageTier::MigrationResult> executed;
+  PartitionMonitor* monitor = storage_->partition_monitor();
+  if (monitor == nullptr) {
+    return executed;
+  }
+  monitor->RollWindow(repartition_config_.load_decay);
+  const std::vector<PartitionMigration> plan = PlanRepartition(
+      *storage_->partition_map(), monitor->rates(), repartition_config_);
+  executed.reserve(plan.size());
+  for (const PartitionMigration& mig : plan) {
+    executed.push_back(storage_->MigratePartition(mig.partition, mig.to));
+  }
+  partitions_migrated_ += executed.size();
+  return executed;
 }
 
 void ClusterEngine::FillLatencyStats(ClusterMetrics* m, std::vector<double> response_us,

@@ -49,11 +49,13 @@ std::string EngineKindName(EngineKind kind);
 // config.
 struct ClusterConfig {
   uint32_t num_processors = 7;  // paper default tier split: 1 / 7 / 4
+  // Storage servers in the decoupled tier (paper default: 4).
   uint32_t num_storage_servers = 4;
   // Per-processor settings, including the async fetch pipeline's
   // processor.max_inflight_batches window (1 = synchronous level barrier;
   // > 1 = overlap cache probes with outstanding multiget batches).
   ProcessorConfig processor;
+  // Idle processors steal queued queries from the longest sibling queue.
   bool enable_stealing = true;
   // Virtual-time cost model. Drives the simulated engine; the threaded
   // engine runs at memory speed and only honours injected_network_us.
@@ -91,45 +93,92 @@ struct ClusterConfig {
   // Bound on the sticky/adaptive splitter's session table; the oldest
   // session is evicted FIFO beyond it (ClusterMetrics::sticky_evictions).
   uint32_t router_session_capacity = 1u << 16;
+
+  // --- Storage-tier adaptive repartitioning (src/partition/repartition.h) ---
+  // At each gossip-aligned round, migrate hot partitions from the most- to
+  // the least-loaded storage server once the max/min decayed access-rate
+  // ratio exceeds this threshold. <= 1 (or infinity) disables repartitioning
+  // — the storage tier is then byte-identical to the static hash-placement
+  // design. Requires gossip_period_us > 0 (rounds ride the gossip tick) and
+  // is incompatible with an explicit storage placement.
+  double repartition_threshold = 0.0;
+  // At most this many partitions migrate per repartition round (anti-thrash
+  // cap, paired with the controller's hysteresis water mark + noise floor).
+  uint32_t repartition_cap = 4;
+  // Virtual partitions per storage server: the migration granularity. The
+  // initial partition->server layout reproduces hash placement exactly.
+  uint32_t partitions_per_server = 8;
+
+  // The storage-rebalancer policy the three knobs above lower to.
+  // enabled() on the result is the single source of truth for whether
+  // repartitioning runs — the engine and every display/consumer derive it
+  // from here, never by re-testing the raw knobs.
+  RepartitionConfig MakeRepartitionConfig() const {
+    RepartitionConfig repartition;
+    repartition.threshold = repartition_threshold;
+    repartition.migration_cap = repartition_cap;
+    repartition.partitions_per_server = partitions_per_server;
+    return repartition;
+  }
 };
 
 // One metrics struct for either engine. Times are virtual µs for the
 // simulated engine and wall-clock µs for the threaded one; the shape of the
 // numbers (ratios between schemes) is what experiments compare.
 struct ClusterMetrics {
+  // Queries answered over the run (every workload query, exactly once).
   uint64_t queries = 0;
   double makespan_us = 0.0;  // arrival of first query -> last completion
+  // queries / makespan, in queries per second.
   double throughput_qps = 0.0;
   double mean_response_ms = 0.0;  // dispatch -> completion (paper's metric)
+  // 95th percentile of the per-query dispatch -> completion time.
   double p95_response_ms = 0.0;
   double mean_queue_wait_ms = 0.0;  // routed -> dispatched
+  // Processor-cache probe outcomes summed over all processors.
   uint64_t cache_hits = 0;
+  // Probes that missed (every probe is a miss in no-cache mode).
   uint64_t cache_misses = 0;
+  // Adjacency entries consumed by traversals (hits + fetched).
   uint64_t nodes_visited = 0;
+  // Payload bytes shipped from the storage tier to the processors.
   uint64_t bytes_from_storage = 0;
+  // Per-server multiget batches issued (the cost model's queueing unit).
   uint64_t storage_batches = 0;
+  // Queries executed by a processor other than the router's pick.
   uint64_t steals = 0;
+  // Post-stealing execution split across processors (sums to `queries`).
   std::vector<uint64_t> queries_per_processor;
-  // Router frontend tier: arrival split across router shards, completed
-  // gossip rounds, and the cross-shard EMA divergence (mean pairwise L2
-  // between shard strategies' state; 0 for stateless strategies) at the end
-  // of the run.
+  // Router frontend tier: how the arrival stream split across router shards.
   std::vector<uint64_t> queries_per_router_shard;
+  // Completed load/EMA gossip rounds between router shards.
   uint64_t gossip_rounds = 0;
+  // Cross-shard EMA divergence at the end of the run (mean pairwise L2
+  // between shard strategies' state; 0 for stateless strategies).
   double router_ema_divergence = 0.0;
-  // Adaptive re-splitting: sessions moved between router shards over the
-  // run, sessions dropped at the splitter's capacity bound, and the final
-  // max/min routed-load ratio across shards (1.0 = perfectly balanced or a
-  // single shard).
+  // Adaptive re-splitting: sessions moved between router shards over the run.
   uint64_t sessions_migrated = 0;
+  // Sessions dropped at the sticky/adaptive splitter's capacity bound.
   uint64_t sticky_evictions = 0;
+  // Final max/min routed-load ratio across router shards (1.0 = perfectly
+  // balanced or a single shard).
   double router_load_imbalance = 0.0;
   // Async storage pipeline: peak concurrently outstanding multiget batches
-  // on any processor, and total time processors spent doing useful work
-  // (cache probes, merges, inserts) while at least one batch was in flight
-  // (virtual µs on the simulated engine, wall µs on the threaded one).
+  // on any processor. Time base for the overlap below: virtual µs on the
+  // simulated engine, wall µs on the threaded one.
   uint32_t batches_inflight_peak = 0;
+  // Useful processor work overlapped with in-flight fetches (µs).
   double fetch_overlap_us = 0.0;
+  // Storage-tier repartitioning: partitions physically moved between
+  // storage servers over the run (0 when repartitioning is off).
+  uint64_t partitions_migrated = 0;
+  // Max/min ratio of per-server served get counts at the end of the run
+  // (1.0 = perfectly balanced; reported whether or not repartitioning ran).
+  double storage_load_imbalance = 0.0;
+  // Storage-server time consumed by migrations: added virtual busy time on
+  // the simulated engine, wall-clock time the gossip tick spent copying /
+  // draining / deleting on the threaded one (µs).
+  double repartition_stall_us = 0.0;
 
   double CacheHitRate() const {
     const uint64_t total = cache_hits + cache_misses;
@@ -168,8 +217,9 @@ class ClusterEngine {
 
  protected:
   // Shared cluster assembly: validates the config, loads the graph into a
-  // fresh storage tier (hash placement unless `placement` is given), and
-  // stands up the query processors.
+  // fresh storage tier (hash placement unless `placement` is given; the
+  // tier's repartitioning overlay is enabled when the config asks for it),
+  // and stands up the query processors.
   ClusterEngine(const Graph& graph, const ClusterConfig& config,
                 const PartitionAssignment* placement);
 
@@ -177,14 +227,34 @@ class ClusterEngine {
   // storage bytes/batches) into `m`.
   void AddProcessorStats(ClusterMetrics* m) const;
 
+  // Storage-tier stats: the per-server served-load spread and the
+  // repartition counters accumulated by RepartitionRound.
+  void AddStorageTierStats(ClusterMetrics* m) const;
+
   // Derives mean/p95 response and mean queue wait (ms) from µs samples.
   static void FillLatencyStats(ClusterMetrics* m, std::vector<double> response_us,
                                const RunningStat& queue_wait_us);
+
+  // Whether the config enables storage-tier repartitioning rounds.
+  bool repartition_enabled() const { return repartition_config_.enabled(); }
+
+  // One storage-tier repartition round, shared by both engines: rolls the
+  // access monitor's window into decayed rates, plans hot-partition moves
+  // (threshold + hysteresis + cap + noise floor), and executes each against
+  // the tier (copy -> flip -> drain -> delete). Returns what physically
+  // moved so the caller can charge engine-specific time for it. Thread-safe
+  // against concurrent query execution, but rounds themselves must be
+  // serialised (the sim's event loop / the threaded gossip tick are).
+  std::vector<StorageTier::MigrationResult> RepartitionRound();
 
   ClusterConfig config_;
   std::unique_ptr<StorageTier> storage_;
   std::vector<std::unique_ptr<QueryProcessor>> processors_;
   std::vector<AnsweredQuery> answers_;
+  // Lowered from config_: the storage rebalancer's controller policy.
+  RepartitionConfig repartition_config_;
+  // Partitions moved so far (written only by RepartitionRound's caller).
+  uint64_t partitions_migrated_ = 0;
   bool ran_ = false;
 };
 

@@ -127,6 +127,9 @@ ClusterConfig ExperimentEnv::MakeClusterConfig(const RunOptions& options) {
   config.router_rebalance_threshold = options.rebalance_threshold;
   config.router_migration_cap = options.migration_cap;
   config.router_session_capacity = options.session_capacity;
+  config.repartition_threshold = options.repartition_threshold;
+  config.repartition_cap = options.repartition_cap;
+  config.partitions_per_server = options.partitions_per_server;
   config.arrival_gap_us = options.arrival_gap_us;
   return config;
 }

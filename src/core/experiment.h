@@ -64,6 +64,13 @@ struct RunOptions {
   double rebalance_threshold = 0.0;
   uint32_t migration_cap = 8;
   uint32_t session_capacity = 1u << 16;
+  // Storage-tier adaptive repartitioning (src/partition/repartition.h):
+  // migration trigger ratio over per-server decayed access rates (<= 1
+  // disables — the tier then keeps the paper's static hash placement),
+  // per-round partition cap, and the virtual-partition granularity.
+  double repartition_threshold = 0.0;
+  uint32_t repartition_cap = 4;
+  uint32_t partitions_per_server = 8;
   // Simulated engine: inter-arrival gap (µs). The paper's workload is
   // back-to-back (0); a positive gap interleaves arrivals with execution
   // and gossip rounds, which is what makes inter-shard gossip observable

@@ -40,6 +40,7 @@
 #include "src/partition/metrics.h"
 #include "src/partition/multilevel.h"
 #include "src/partition/partitioner.h"
+#include "src/partition/repartition.h"
 #include "src/partition/vertex_cut.h"
 #include "src/proc/processor.h"
 #include "src/query/query.h"

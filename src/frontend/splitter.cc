@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/util/check.h"
+#include "src/util/stats.h"
 
 namespace grouting {
 
@@ -193,16 +194,7 @@ uint32_t ArrivalSplitter::SessionShard(NodeId session) const {
 }
 
 double RoutedLoadImbalance(std::span<const uint64_t> routed) {
-  if (routed.size() < 2) {
-    return routed.empty() ? 0.0 : 1.0;
-  }
-  uint64_t lo = routed[0];
-  uint64_t hi = routed[0];
-  for (const uint64_t r : routed) {
-    lo = std::min(lo, r);
-    hi = std::max(hi, r);
-  }
-  return static_cast<double>(hi) / static_cast<double>(std::max<uint64_t>(lo, 1));
+  return MaxMinLoadRatio(routed);
 }
 
 }  // namespace grouting

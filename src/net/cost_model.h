@@ -48,6 +48,16 @@ struct CostModel {
   // into response time (paper Figs. 9/14).
   double storage_per_value_us = 1.2;
 
+  // --- Storage-tier repartitioning (src/partition/repartition.h) ---
+  // Fixed cost to set up one partition migration (plan message, ownership
+  // handshake), charged to both ends of the move on the simulated storage
+  // timeline.
+  double migration_base_us = 5.0;
+  // Per-key cost to copy one value from the old to the new owner during a
+  // migration. Together with migration_base_us this is what
+  // ClusterMetrics::repartition_stall_us accumulates in virtual time.
+  double migration_per_key_us = 0.3;
+
   // --- Processing tier ---
   // Traversal compute per visited node (neighbour iteration, aggregation).
   double compute_per_node_us = 0.40;

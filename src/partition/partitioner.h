@@ -39,6 +39,8 @@ class HashPartitioner : public Partitioner {
   // The same function applied to a single node, usable without a Graph.
   PartitionId Place(NodeId u, uint32_t k) const;
 
+  uint32_t seed() const { return hash_seed_; }
+
  private:
   uint32_t hash_seed_;
 };

@@ -1,0 +1,139 @@
+#include "src/partition/repartition.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/stats.h"
+
+namespace grouting {
+
+PartitionMap::PartitionMap(uint32_t num_partitions, uint32_t num_servers,
+                           uint32_t hash_seed)
+    : num_partitions_(num_partitions), num_servers_(num_servers), hash_seed_(hash_seed) {
+  GROUTING_CHECK(num_partitions_ > 0 && num_servers_ > 0);
+  GROUTING_CHECK_MSG(num_partitions_ % num_servers_ == 0,
+                     "num_partitions must be a multiple of num_servers so the "
+                     "initial map reproduces hash placement exactly");
+  owners_ = std::make_unique<std::atomic<uint64_t>[]>(num_partitions_);
+  for (uint32_t q = 0; q < num_partitions_; ++q) {
+    // (h % cM) % M == h % M: partition q starts on server q % M, which makes
+    // OwnerOf(node) identical to HashPartitioner::Place(node, M).
+    owners_[q].store(q % num_servers_, std::memory_order_relaxed);
+  }
+}
+
+std::vector<uint32_t> PartitionMap::OwnerSnapshot() const {
+  std::vector<uint32_t> snapshot(num_partitions_);
+  for (uint32_t q = 0; q < num_partitions_; ++q) {
+    snapshot[q] = owner(q);
+  }
+  return snapshot;
+}
+
+PartitionMonitor::PartitionMonitor(uint32_t num_partitions)
+    : num_partitions_(num_partitions), rates_(num_partitions, 0.0) {
+  GROUTING_CHECK(num_partitions_ > 0);
+  windows_ = std::make_unique<std::atomic<uint64_t>[]>(num_partitions_);
+  for (uint32_t q = 0; q < num_partitions_; ++q) {
+    windows_[q].store(0, std::memory_order_relaxed);
+  }
+}
+
+void PartitionMonitor::RollWindow(double decay) {
+  GROUTING_CHECK(decay >= 0.0 && decay < 1.0);
+  for (uint32_t q = 0; q < num_partitions_; ++q) {
+    const uint64_t window = windows_[q].exchange(0, std::memory_order_relaxed);
+    rates_[q] = decay * rates_[q] + static_cast<double>(window);
+    total_recorded_.fetch_add(window, std::memory_order_relaxed);
+  }
+}
+
+std::vector<PartitionMigration> PlanRepartition(const PartitionMap& map,
+                                                std::span<const double> rates,
+                                                const RepartitionConfig& config) {
+  std::vector<PartitionMigration> migrations;
+  const uint32_t num_servers = map.num_servers();
+  if (!config.enabled() || num_servers < 2) {
+    return migrations;
+  }
+  GROUTING_CHECK(rates.size() == map.num_partitions());
+  GROUTING_CHECK(config.hysteresis > 0.0 && config.hysteresis <= 1.0);
+
+  // Working copy: planned moves shift load between servers immediately, so
+  // one round never double-moves against a stale picture.
+  std::vector<uint32_t> owner = map.OwnerSnapshot();
+  std::vector<double> server_load(num_servers, 0.0);
+  for (uint32_t q = 0; q < map.num_partitions(); ++q) {
+    server_load[owner[q]] += rates[q];
+  }
+
+  const auto ratio = [&](uint32_t hi, uint32_t lo) {
+    return (server_load[hi] + 1.0) / (server_load[lo] + 1.0);
+  };
+  const double stop_ratio = std::max(1.0, config.hysteresis * config.threshold);
+
+  bool triggered = false;
+  while (migrations.size() < config.migration_cap) {
+    uint32_t hottest = 0;
+    uint32_t coolest = 0;
+    for (uint32_t s = 1; s < num_servers; ++s) {
+      if (server_load[s] > server_load[hottest]) {
+        hottest = s;
+      }
+      if (server_load[s] < server_load[coolest]) {
+        coolest = s;
+      }
+    }
+    const double r = ratio(hottest, coolest);
+    const double gap = server_load[hottest] - server_load[coolest];
+    const double gap_floor =
+        config.noise_sigmas * std::sqrt(std::max(server_load[hottest], 1.0));
+    if (gap <= gap_floor) {
+      break;  // the spread is within sampling noise: not actionable skew
+    }
+    if (!triggered) {
+      if (r <= config.threshold) {
+        return migrations;  // below the trigger, leave the map alone
+      }
+      triggered = true;
+    } else if (r <= stop_ratio) {
+      break;  // drained below the hysteresis water mark
+    }
+
+    // Victim rule (mirrors the router rebalancer): move the partition that
+    // lands the pair closest to even, restricted to rate < gap so every
+    // move strictly narrows the spread — a partition hotter than the whole
+    // gap would only relocate the hotspot and invite thrash. Ties fall to
+    // the lowest partition id (the ascending scan keeps the first).
+    uint32_t victim = map.num_partitions();
+    double victim_spread = gap;
+    double victim_rate = 0.0;
+    for (uint32_t q = 0; q < map.num_partitions(); ++q) {
+      if (owner[q] != hottest || rates[q] <= 0.0 || rates[q] >= gap) {
+        continue;
+      }
+      const double spread = std::abs(gap - 2.0 * rates[q]);
+      if (victim == map.num_partitions() || spread < victim_spread) {
+        victim = q;
+        victim_spread = spread;
+        victim_rate = rates[q];
+      }
+    }
+    if (victim == map.num_partitions()) {
+      break;  // nothing movable without widening the spread
+    }
+
+    owner[victim] = coolest;
+    server_load[hottest] -= victim_rate;
+    server_load[coolest] += victim_rate;
+    migrations.push_back({victim, hottest, coolest});
+  }
+  return migrations;
+}
+
+double StorageLoadImbalance(std::span<const uint64_t> per_server) {
+  return MaxMinLoadRatio(per_server);
+}
+
+}  // namespace grouting

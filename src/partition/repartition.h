@@ -1,0 +1,188 @@
+// Adaptive repartitioning of the storage tier under skew (PHD-Store-style
+// dynamic repartitioning, Al-Harbi et al., applied to the decoupled tier).
+//
+// The paper keeps the storage tier's partitioning static — MurmurHash3 over
+// node ids — and pushes all adaptivity into the routers. That works until a
+// Zipf-skewed workload concentrates traversal traffic on keys that happen
+// to live on one storage server: router-side re-splitting (src/frontend/)
+// cannot help, because the hot vertices physically live there. This module
+// closes that gap with three pieces, mirroring the arrival-stream
+// rebalancer's controller design (ArrivalSplitter::Rebalance):
+//
+//   * PartitionMap     — the key space is cut into P = partitions_per_server
+//                        x num_servers virtual partitions by the SAME
+//                        MurmurHash3 the tier places keys with; each
+//                        partition has a current owner server. The initial
+//                        owner of partition q is q % num_servers, which makes
+//                        the map's placement BYTE-IDENTICAL to the tier's
+//                        classic hash placement ((h % cM) % M == h % M) —
+//                        enabling repartitioning changes nothing until the
+//                        first migration actually fires.
+//   * PartitionMonitor — per-partition decayed access-rate estimates, fed
+//                        with one Record() per key from the StorageTier
+//                        get/multiget paths and rolled into rates at
+//                        planner rounds.
+//   * PlanRepartition  — the controller: at gossip-aligned rounds, propose
+//                        hot-partition migrations from the most- to the
+//                        least-loaded storage server once the max/min load
+//                        ratio exceeds a threshold, with hysteresis, a
+//                        per-round migration cap, a Poisson noise floor and
+//                        a strict-improvement victim rule.
+//
+// The physical move (copy keys -> flip owner -> drain in-flight multigets
+// against the old owner -> delete) is the storage tier's job:
+// StorageTier::MigratePartition.
+
+#ifndef GROUTING_SRC_PARTITION_REPARTITION_H_
+#define GROUTING_SRC_PARTITION_REPARTITION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/util/murmur3.h"
+
+namespace grouting {
+
+// Controller policy for the storage-tier rebalancer. Threshold and cap are
+// surfaced as ClusterConfig / CLI knobs; the rest are tuned defaults shared
+// with the router rebalancer's controller.
+struct RepartitionConfig {
+  // Trigger: migrate when (max+1)/(min+1) over the servers' decayed access
+  // rates exceeds this ratio. <= 1 (or infinity) disables repartitioning
+  // entirely — the tier then behaves exactly as before this subsystem.
+  double threshold = 0.0;
+  // At most this many partitions move per repartition round.
+  uint32_t migration_cap = 4;
+  // Virtual partitions per storage server (P = this x num_servers). More
+  // partitions = finer-grained moves at a larger map.
+  uint32_t partitions_per_server = 8;
+  // Once triggered, migrate down to hysteresis * threshold (a lower water
+  // mark in (0, 1]) so the next round does not immediately re-trigger.
+  double hysteresis = 0.9;
+  // Per-round decay of the monitor's rate estimates, in [0, 1): the
+  // controller reacts to the RECENT access rate, not cumulative counts.
+  double load_decay = 0.8;
+  // Noise floor: migrate only while the hot-cold server gap exceeds this
+  // many Poisson sigmas (sqrt of the hottest server's recent load), so
+  // short windows of sampling jitter never thrash partitions.
+  double noise_sigmas = 3.0;
+
+  bool enabled() const {
+    return threshold > 1.0 && threshold < 1e30 && migration_cap > 0 &&
+           partitions_per_server > 0;
+  }
+};
+
+// One planned partition move.
+struct PartitionMigration {
+  uint32_t partition = 0;
+  uint32_t from = 0;
+  uint32_t to = 0;
+};
+
+// partition -> owning storage server, consulted by StorageTier::ServerOf on
+// every key lookup (and therefore by CachedStorageSource when it groups
+// misses into per-server batches). Owners are atomics: the threaded
+// engine's gossip tick flips them while processor and fetch threads read.
+// Each entry packs (version << 32 | server); the version increments on
+// every flip, so a reader can detect that a partition moved — even away
+// and back (ABA) — across one of its reads.
+class PartitionMap {
+ public:
+  PartitionMap(uint32_t num_partitions, uint32_t num_servers, uint32_t hash_seed);
+
+  uint32_t num_partitions() const { return num_partitions_; }
+  uint32_t num_servers() const { return num_servers_; }
+
+  // Which partition a key falls in — the tier's placement hash mod P, so
+  // the initial owner layout reproduces classic hash placement exactly.
+  uint32_t PartitionOf(NodeId node) const {
+    return Murmur3Hash64(node, hash_seed_) % num_partitions_;
+  }
+
+  // The server half of a packed owner stamp.
+  static uint32_t StampOwner(uint64_t stamp) {
+    return static_cast<uint32_t>(stamp & 0xffffffffu);
+  }
+
+  // Versioned owner stamp: compares equal across two reads iff no flip of
+  // the partition happened in between.
+  uint64_t OwnerStamp(uint32_t partition) const {
+    return owners_[partition].load(std::memory_order_acquire);
+  }
+  uint64_t OwnerStampOf(NodeId node) const { return OwnerStamp(PartitionOf(node)); }
+
+  uint32_t owner(uint32_t partition) const { return StampOwner(OwnerStamp(partition)); }
+  uint32_t OwnerOf(NodeId node) const { return owner(PartitionOf(node)); }
+
+  // Rebinds a partition to a new owner (the flip step of a migration),
+  // bumping the stamp version. Written only by the engine's repartition
+  // round; readers see either the old or the new stamp, never a torn value.
+  void SetOwner(uint32_t partition, uint32_t server) {
+    const uint64_t version = (owners_[partition].load(std::memory_order_relaxed) >> 32) + 1;
+    owners_[partition].store((version << 32) | server, std::memory_order_release);
+  }
+
+  // Plain snapshot of all owners (planner working copy).
+  std::vector<uint32_t> OwnerSnapshot() const;
+
+ private:
+  uint32_t num_partitions_;
+  uint32_t num_servers_;
+  uint32_t hash_seed_;
+  std::unique_ptr<std::atomic<uint64_t>[]> owners_;
+};
+
+// Per-partition access-rate monitor. Record() is called from the tier's
+// get/multiget paths (any thread, relaxed atomics); RollWindow() is called
+// by the single planner thread at repartition rounds and folds the window
+// counts into decayed rate estimates, exactly like the arrival splitter's
+// per-session rate estimator.
+class PartitionMonitor {
+ public:
+  explicit PartitionMonitor(uint32_t num_partitions);
+
+  uint32_t num_partitions() const { return num_partitions_; }
+
+  void Record(uint32_t partition) {
+    windows_[partition].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Rolls the current windows into the decayed rates and zeroes them.
+  // Planner-thread only.
+  void RollWindow(double decay);
+
+  // Decayed per-partition access rates, valid between RollWindow() calls.
+  std::span<const double> rates() const { return rates_; }
+
+  uint64_t total_recorded() const {
+    return total_recorded_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  uint32_t num_partitions_;
+  std::unique_ptr<std::atomic<uint64_t>[]> windows_;
+  std::vector<double> rates_;
+  std::atomic<uint64_t> total_recorded_{0};
+};
+
+// The repartition controller: given the current map and the monitor's
+// decayed per-partition rates, plan up to migration_cap hot-partition moves
+// from the most- to the least-loaded server. Pure — the map is NOT mutated
+// (the executor flips owners as each physical move lands); planned moves
+// are reflected in a local working copy so one round stays consistent.
+std::vector<PartitionMigration> PlanRepartition(const PartitionMap& map,
+                                                std::span<const double> rates,
+                                                const RepartitionConfig& config);
+
+// Max/min ratio over per-server load sums (min clamped to 1); the
+// ClusterMetrics::storage_load_imbalance definition.
+double StorageLoadImbalance(std::span<const uint64_t> per_server);
+
+}  // namespace grouting
+
+#endif  // GROUTING_SRC_PARTITION_REPARTITION_H_

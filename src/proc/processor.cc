@@ -14,6 +14,42 @@ double ElapsedUs(std::chrono::steady_clock::time_point from,
 
 }  // namespace
 
+size_t ResolveMigratedMisses(StorageTier* storage, std::span<const NodeId> keys,
+                             std::vector<AdjacencyPtr>* values) {
+  GROUTING_CHECK(keys.size() == values->size());
+  const PartitionMap* map = storage->partition_map();
+  if (map == nullptr) {
+    return 0;
+  }
+  size_t resolved = 0;
+  for (size_t k = 0; k < keys.size(); ++k) {
+    if ((*values)[k] != nullptr) {
+      continue;
+    }
+    // The re-fetch can itself race the NEXT migration (a plain read is not
+    // covered by the drain accounting), so retry until the owner STAMP is
+    // stable around a null read. The stamp's version half catches even a
+    // partition that moved away and back (ABA) during the read; only a
+    // null under an unchanged stamp is a genuine miss — anything else
+    // means the key moved mid-read and the then-current owner has it. The
+    // read is the stats-free PeekCurrent: the raced batch already counted
+    // this key as workload traffic once.
+    for (;;) {
+      const uint64_t stamp = map->OwnerStampOf(keys[k]);
+      AdjacencyPtr entry = storage->PeekCurrent(keys[k]);
+      if (entry != nullptr) {
+        (*values)[k] = std::move(entry);
+        ++resolved;
+        break;
+      }
+      if (map->OwnerStampOf(keys[k]) == stamp) {
+        break;  // stable null: genuine miss
+      }
+    }
+  }
+  return resolved;
+}
+
 void CachedStorageSource::CompleteOldest(std::vector<Inflight>* inflight,
                                          std::span<const NodeId> nodes,
                                          std::vector<AdjacencyPtr>* result,
@@ -28,6 +64,20 @@ void CachedStorageSource::CompleteOldest(std::vector<Inflight>* inflight,
     *blocked_us += ElapsedUs(wait_start, std::chrono::steady_clock::now());
   } else {
     values = &batch.handle->Wait();
+  }
+
+  // Under repartitioning a batch can race a partition migration: the keys
+  // moved between the ServerOf lookup that formed the batch and its
+  // service. Null slots are re-resolved through the tier's current map, so
+  // the values are still delivered exactly once. The copy is paid only
+  // when a batch actually came back with a hole — on the common all-present
+  // path (and always when repartitioning is off) this is a read-only scan.
+  std::vector<AdjacencyPtr> patched;
+  if (storage_->repartitioning_enabled() &&
+      std::find(values->begin(), values->end(), nullptr) != values->end()) {
+    patched = *values;
+    ResolveMigratedMisses(storage_, batch.handle->keys(), &patched);
+    values = &patched;
   }
 
   FetchTrace::Batch stats;
@@ -89,13 +139,18 @@ std::vector<AdjacencyPtr> CachedStorageSource::FetchBatch(std::span<const NodeId
   // multiget batches and keep at most `window_` of them outstanding.
   // Completions install values in issue order (ascending server id), so
   // stats, trace and cache state never depend on the window or on when the
-  // executor actually serviced a handle.
+  // executor actually serviced a handle. Each miss's owner is resolved
+  // EXACTLY ONCE into a snapshot before sorting: under repartitioning the
+  // map can flip concurrently, and a live-ServerOf comparator would be
+  // inconsistent mid-sort (undefined behaviour). A batch formed from a
+  // snapshot that lost the flip race is healed in CompleteOldest.
   if (!miss_positions.empty()) {
-    std::sort(miss_positions.begin(), miss_positions.end(), [&](size_t a, size_t b) {
-      const uint32_t sa = storage_->ServerOf(nodes[a]);
-      const uint32_t sb = storage_->ServerOf(nodes[b]);
-      return sa != sb ? sa < sb : a < b;
-    });
+    std::vector<std::pair<uint32_t, size_t>> misses;  // (owner snapshot, pos)
+    misses.reserve(miss_positions.size());
+    for (const size_t pos : miss_positions) {
+      misses.emplace_back(storage_->ServerOf(nodes[pos]), pos);
+    }
+    std::sort(misses.begin(), misses.end());
 
     const bool timed = executor_ != nullptr;
     const auto issue_start = std::chrono::steady_clock::now();
@@ -104,13 +159,12 @@ std::vector<AdjacencyPtr> CachedStorageSource::FetchBatch(std::span<const NodeId
     std::vector<Inflight> inflight;
 
     size_t i = 0;
-    while (i < miss_positions.size()) {
-      const uint32_t server = storage_->ServerOf(nodes[miss_positions[i]]);
+    while (i < misses.size()) {
+      const uint32_t server = misses[i].first;
       Inflight batch;
       std::vector<NodeId> keys;
-      while (i < miss_positions.size() &&
-             storage_->ServerOf(nodes[miss_positions[i]]) == server) {
-        const size_t pos = miss_positions[i];
+      while (i < misses.size() && misses[i].first == server) {
+        const size_t pos = misses[i].second;
         keys.push_back(nodes[pos]);
         batch.positions.push_back(pos);
         ++i;

@@ -29,6 +29,16 @@
 
 namespace grouting {
 
+// Re-resolves multiget misses that raced a partition migration: a batch
+// formed against a server that lost its keys between the ServerOf lookup
+// and StartMultiGet comes back with nullptr slots; each null slot is
+// re-fetched through the tier's current partition map, retrying until the
+// owner stamp is stable around the read, so the answer is still delivered
+// exactly once — whatever migrations ran (or re-ran) meanwhile. Returns
+// the number of keys re-resolved; no-op when repartitioning is off.
+size_t ResolveMigratedMisses(StorageTier* storage, std::span<const NodeId> keys,
+                             std::vector<AdjacencyPtr>* values);
+
 struct ProcessorConfig {
   uint64_t cache_bytes = 4ULL << 30;  // paper default: 4 GB per processor
   CachePolicy cache_policy = CachePolicy::kLru;

@@ -231,7 +231,7 @@ void ThreadedCluster::GossipLoop() {
     if (gossip_stop_.load(std::memory_order_acquire)) {
       break;
     }
-    {
+    if (router_gossip_) {
       // One tick: take every shard's mutex (fixed order — other threads
       // only ever hold one at a time, so no deadlock) and run the SAME
       // blend the sim fleet runs, so the two engines' gossip semantics
@@ -245,6 +245,20 @@ void ThreadedCluster::GossipLoop() {
       GossipBlendStrategies(views, config_.gossip_merge_weight);
       gossip_stats_.last_divergence_after = CrossShardStateDivergence(const_views);
       gossip_stats_.rounds += 1;
+    }
+    if (repartition_enabled()) {
+      // Storage-tier repartitioning folded into the same tick, exactly like
+      // the arrival rebalance: the round plans against the monitor's
+      // decayed rates and physically migrates partitions while processor /
+      // fetch threads keep serving — MigratePartition's copy-flip-drain-
+      // delete order plus the processor-side miss re-resolution keep every
+      // answer exactly-once. The stall metric is the tick's wall time spent
+      // moving data.
+      const auto mig_start = Clock::now();
+      const auto executed = RepartitionRound();
+      if (!executed.empty()) {
+        repartition_stall_us_ += ElapsedUs(mig_start, Clock::now());
+      }
     }
     if (rebalance && !arrivals_done_.load(std::memory_order_acquire)) {
       // Adaptive re-splitting folded into the same tick: snapshot the
@@ -382,13 +396,16 @@ ClusterMetrics ThreadedCluster::Run(std::span<const Query> queries) {
     }
   }
 
-  // Spawn the gossip tick only when it has work: EMA state to blend, or an
-  // adaptive rebalance to drive. Stateless strategies under a static
-  // splitter would pay the per-tick locks and clones for a guaranteed
-  // no-op. Decided before any thread can touch the strategies.
-  const bool gossip = num_shards > 1 && config_.gossip_period_us > 0.0 &&
-                      (!shards_[0]->strategy->GossipState().empty() ||
-                       (adaptive_ && rebalance_.enabled()));
+  // Spawn the gossip tick only when it has work: EMA state to blend, an
+  // adaptive rebalance to drive, or storage-tier repartition rounds to run.
+  // Stateless strategies under a static splitter would pay the per-tick
+  // locks and clones for a guaranteed no-op. Decided before any thread can
+  // touch the strategies.
+  router_gossip_ = num_shards > 1 && config_.gossip_period_us > 0.0 &&
+                   (!shards_[0]->strategy->GossipState().empty() ||
+                    (adaptive_ && rebalance_.enabled()));
+  const bool gossip =
+      router_gossip_ || (repartition_enabled() && config_.gossip_period_us > 0.0);
 
   const auto start = Clock::now();
   if (async_fetch_) {
@@ -479,6 +496,8 @@ ClusterMetrics ThreadedCluster::Run(std::span<const Query> queries) {
   m.sessions_migrated = sessions_migrated_.load(std::memory_order_relaxed);
   m.sticky_evictions = splitter_.stats().evictions;
   m.router_load_imbalance = RoutedLoadImbalance(m.queries_per_router_shard);
+  AddStorageTierStats(&m);
+  m.repartition_stall_us = repartition_stall_us_;
   return m;
 }
 

@@ -122,6 +122,12 @@ class ThreadedCluster : public ClusterEngine {
   std::atomic<bool> shutdown_{false};
   std::atomic<bool> gossip_stop_{false};
   GossipStats gossip_stats_;  // written by the gossip thread, read post-join
+  // Router-shard gossip actually has state to blend (vs the tick existing
+  // only to drive storage repartitioning). Decided in Run().
+  bool router_gossip_ = false;
+  // Wall time the gossip tick spent migrating partitions (copy + drain +
+  // delete); written by the gossip thread, read post-join.
+  double repartition_stall_us_ = 0.0;
 
   // Arrival splitter. Static splitters consume it single-threaded in Run();
   // the adaptive splitter is shared between the feeder thread (ShardFor) and

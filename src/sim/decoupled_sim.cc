@@ -65,9 +65,13 @@ ClusterMetrics DecoupledClusterSim::Run(std::span<const Query> queries) {
     }
   };
 
-  // Load/EMA gossip between router shards, as recurring virtual-time events.
-  if (fleet_->gossip_enabled()) {
-    events_.ScheduleAt(fleet_->config().gossip.period_us,
+  // Load/EMA gossip between router shards — and the storage-tier
+  // repartition rounds that ride the same cadence — as recurring
+  // virtual-time events. Repartitioning alone (single router shard) still
+  // needs the tick chain, gated on a positive period exactly like gossip.
+  if (fleet_->gossip_enabled() ||
+      (repartition_enabled() && config_.gossip_period_us > 0.0)) {
+    events_.ScheduleAt(config_.gossip_period_us,
                        [this, total = queries.size()] { GossipTick(total); });
   }
 
@@ -95,6 +99,8 @@ ClusterMetrics DecoupledClusterSim::Run(std::span<const Query> queries) {
   // meaningless for the simulated engine.
   m.batches_inflight_peak = batches_inflight_peak_;
   m.fetch_overlap_us = total_fetch_overlap_us_;
+  AddStorageTierStats(&m);
+  m.repartition_stall_us = repartition_stall_us_;
   return m;
 }
 
@@ -102,8 +108,30 @@ void DecoupledClusterSim::GossipTick(size_t total_queries) {
   if (answers_.size() >= total_queries) {
     return;  // run drained: stop the gossip chain
   }
-  fleet_->GossipRound();
-  events_.ScheduleAfter(fleet_->config().gossip.period_us,
+  if (fleet_->gossip_enabled()) {
+    fleet_->GossipRound();
+  }
+  if (repartition_enabled()) {
+    // Execute the round's migrations now (functionally instantaneous and
+    // race-free: the event loop is the only thread), then charge the copy
+    // cost to both ends of each move on the storage timeline — queries
+    // whose batches land on a migrating server queue behind the move.
+    const CostModel& cm = config_.cost;
+    for (const StorageTier::MigrationResult& mig : RepartitionRound()) {
+      if (mig.from == mig.to) {
+        continue;
+      }
+      const SimTimeUs cost =
+          cm.migration_base_us +
+          cm.migration_per_key_us * static_cast<double>(mig.keys_moved);
+      for (const uint32_t s : {mig.from, mig.to}) {
+        const SimTimeUs start = std::max(events_.now(), server_busy_until_[s]);
+        server_busy_until_[s] = start + cost;
+        repartition_stall_us_ += cost;
+      }
+    }
+  }
+  events_.ScheduleAfter(config_.gossip_period_us,
                         [this, total_queries] { GossipTick(total_queries); });
 }
 

@@ -96,6 +96,10 @@ class DecoupledClusterSim : public ClusterEngine {
   // done; records the audit entry and schedules the next AdvanceLevel.
   void FinishLevelAsync(uint32_t p);
   // Self-rescheduling load/EMA gossip event (stops once the run drains).
+  // Also drives the storage-tier repartition round: migrations execute
+  // functionally at the event (the event loop is the only executor, so no
+  // multiget is ever in flight) and their copy cost is charged to both
+  // storage servers' virtual timelines.
   void GossipTick(size_t total_queries);
 
   struct InFlight {
@@ -133,6 +137,8 @@ class DecoupledClusterSim : public ClusterEngine {
   // layer executes inline, so its wall-clock overlap is meaningless here).
   double total_fetch_overlap_us_ = 0.0;
   uint32_t batches_inflight_peak_ = 0;
+  // Virtual storage-server busy time added by partition migrations.
+  double repartition_stall_us_ = 0.0;
   std::vector<LevelCompletion> level_completions_;
 };
 

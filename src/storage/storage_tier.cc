@@ -1,5 +1,7 @@
 #include "src/storage/storage_tier.h"
 
+#include <thread>
+
 namespace grouting {
 
 AdjacencyPtr StorageServer::Get(NodeId node) {
@@ -36,6 +38,22 @@ std::vector<AdjacencyPtr> StorageServer::MultiGet(std::span<const NodeId> nodes)
   return result;
 }
 
+std::optional<std::vector<uint8_t>> StorageServer::PeekBlob(NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto blob = store_.Get(node);
+  if (!blob.has_value()) {
+    return std::nullopt;
+  }
+  return std::vector<uint8_t>(blob->begin(), blob->end());
+}
+
+void StorageServer::DrainOpenBatches() {
+  const uint32_t old = epoch_.fetch_add(1, std::memory_order_acq_rel);
+  while (open_batches_[old & 1].load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+}
+
 StorageTier::StorageTier(size_t num_servers, uint32_t hash_seed) : hasher_(hash_seed) {
   GROUTING_CHECK(num_servers > 0);
   servers_.reserve(num_servers);
@@ -46,14 +64,22 @@ StorageTier::StorageTier(size_t num_servers, uint32_t hash_seed) : hasher_(hash_
 
 void StorageTier::LoadGraph(const Graph& g) {
   explicit_placement_.clear();
+  if (partition_map_ != nullptr) {
+    partition_keys_.assign(partition_map_->num_partitions(), {});
+  }
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
     const auto blob = EncodeAdjacency(g, u);
     servers_[ServerOf(u)]->Load(u, blob);
+    if (partition_map_ != nullptr) {
+      partition_keys_[partition_map_->PartitionOf(u)].push_back(u);
+    }
   }
 }
 
 void StorageTier::LoadGraph(const Graph& g, const PartitionAssignment& placement) {
   GROUTING_CHECK(placement.size() == g.num_nodes());
+  GROUTING_CHECK_MSG(partition_map_ == nullptr,
+                     "explicit placement is incompatible with repartitioning");
   explicit_placement_ = placement;
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
     GROUTING_CHECK(placement[u] < servers_.size());
@@ -66,18 +92,116 @@ uint32_t StorageTier::ServerOf(NodeId node) const {
   if (!explicit_placement_.empty() && node < explicit_placement_.size()) {
     return explicit_placement_[node];
   }
+  if (partition_map_ != nullptr) {
+    return partition_map_->OwnerOf(node);
+  }
   return hasher_.Place(node, static_cast<uint32_t>(servers_.size()));
 }
 
 AdjacencyPtr StorageTier::Get(NodeId node) {
+  if (partition_monitor_ != nullptr) {
+    partition_monitor_->Record(partition_map_->PartitionOf(node));
+  }
   return servers_[ServerOf(node)]->Get(node);
+}
+
+AdjacencyPtr StorageTier::PeekCurrent(NodeId node) {
+  const auto blob = servers_[ServerOf(node)]->PeekBlob(node);
+  if (!blob.has_value()) {
+    return nullptr;
+  }
+  return DecodeAdjacency(*blob);
 }
 
 std::shared_ptr<MultiGetHandle> StorageTier::StartMultiGet(uint32_t server,
                                                            std::vector<NodeId> keys) {
   GROUTING_CHECK(server < servers_.size());
   servers_[server]->NoteBatch();
-  return std::make_shared<MultiGetHandle>(servers_[server].get(), std::move(keys));
+  if (partition_monitor_ != nullptr) {
+    for (const NodeId key : keys) {
+      partition_monitor_->Record(partition_map_->PartitionOf(key));
+    }
+  }
+  auto handle = std::make_shared<MultiGetHandle>(servers_[server].get(), std::move(keys));
+  if (partition_map_ != nullptr) {
+    // Drain accounting: the handle occupies the server's current epoch slot
+    // until it is serviced, so a migration can wait for requests that were
+    // opened against the old owner.
+    handle->set_open_slot(servers_[server]->RegisterOpenBatch());
+  }
+  return handle;
+}
+
+void StorageTier::EnableRepartitioning(uint32_t partitions_per_server) {
+  GROUTING_CHECK(partitions_per_server > 0);
+  GROUTING_CHECK_MSG(explicit_placement_.empty(),
+                     "repartitioning is incompatible with explicit placement");
+  const uint32_t num_servers = static_cast<uint32_t>(servers_.size());
+  partition_map_ = std::make_unique<PartitionMap>(
+      partitions_per_server * num_servers, num_servers, hasher_.seed());
+  partition_monitor_ =
+      std::make_unique<PartitionMonitor>(partition_map_->num_partitions());
+}
+
+StorageTier::MigrationResult StorageTier::MigratePartition(uint32_t partition,
+                                                           uint32_t to) {
+  GROUTING_CHECK(partition_map_ != nullptr);
+  GROUTING_CHECK(partition < partition_map_->num_partitions());
+  GROUTING_CHECK(to < servers_.size());
+  MigrationResult result;
+  result.partition = partition;
+  result.from = partition_map_->owner(partition);
+  result.to = to;
+  if (result.from == to) {
+    return result;
+  }
+  StorageServer& src = *servers_[result.from];
+  StorageServer& dst = *servers_[to];
+
+  // (1) Copy: the partition's keys land on the destination while the source
+  // copies stay live, so every concurrent lookup finds them somewhere. The
+  // key list was built at LoadGraph (membership never changes), so the walk
+  // is O(keys in partition) and takes the source mutex per key, never for a
+  // whole-server scan.
+  GROUTING_CHECK_MSG(partition < partition_keys_.size(),
+                     "repartitioning requires the graph to be loaded after "
+                     "EnableRepartitioning");
+  std::vector<NodeId> moved;
+  for (const NodeId key : partition_keys_[partition]) {
+    auto blob = src.PeekBlob(key);
+    if (!blob.has_value()) {
+      continue;  // not on the source (deleted); nothing to move
+    }
+    dst.Load(key, *blob);
+    moved.push_back(key);
+    result.bytes_moved += blob->size();
+  }
+
+  // (2) Flip: new ServerOf lookups resolve to the destination (which holds
+  // the keys since step 1).
+  partition_map_->SetOwner(partition, to);
+
+  // (3) Drain: multiget handles opened against the source before the flip
+  // finish against the still-present source copies.
+  src.DrainOpenBatches();
+
+  // (4) Delete the source copies. A reader that raced the flip between its
+  // ServerOf lookup and StartMultiGet lands in the NEW epoch slot and may
+  // observe a miss here; the processor-side fallback re-resolves it.
+  for (const NodeId key : moved) {
+    src.Delete(key);
+  }
+  result.keys_moved = moved.size();
+  return result;
+}
+
+std::vector<uint64_t> StorageTier::GetRequestsPerServer() const {
+  std::vector<uint64_t> per_server;
+  per_server.reserve(servers_.size());
+  for (const auto& s : servers_) {
+    per_server.push_back(s->stats().get_requests);
+  }
+  return per_server;
 }
 
 uint64_t StorageTier::TotalLiveBytes() const {

@@ -6,15 +6,18 @@
 #ifndef GROUTING_SRC_STORAGE_STORAGE_TIER_H_
 #define GROUTING_SRC_STORAGE_STORAGE_TIER_H_
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "src/graph/graph.h"
 #include "src/partition/partitioner.h"
+#include "src/partition/repartition.h"
 #include "src/storage/adjacency.h"
 #include "src/storage/kv_store.h"
 
@@ -67,11 +70,35 @@ class StorageServer {
     ++stats_.batch_requests;
   }
 
+  // --- Partition-migration support (see StorageTier::MigratePartition) ---
+
+  // Copies one raw value out of the store WITHOUT touching serving stats —
+  // migration reads are not workload traffic. nullopt if absent.
+  std::optional<std::vector<uint8_t>> PeekBlob(NodeId node);
+
+  // Epoch-tagged accounting of multiget handles opened against this server
+  // but not yet serviced. StartMultiGet registers each handle in the
+  // current epoch's slot; the handle releases it once ExecuteOnly has
+  // published its values (or on destruction if never serviced). A migration
+  // drain advances the epoch and waits for the OLD epoch's slot to empty —
+  // in-flight requests finish against the old owner while new ones (tagged
+  // with the new epoch) never block the wait.
+  std::atomic<int64_t>* RegisterOpenBatch() {
+    std::atomic<int64_t>* slot =
+        &open_batches_[epoch_.load(std::memory_order_acquire) & 1];
+    slot->fetch_add(1, std::memory_order_acq_rel);
+    return slot;
+  }
+  void DrainOpenBatches();
+
  private:
   uint32_t id_;
   mutable std::mutex mu_;
   LogStructuredStore store_;
   StorageServerStats stats_;
+  // Migration-drain state (used only when the tier has repartitioning on).
+  std::atomic<uint32_t> epoch_{0};
+  std::array<std::atomic<int64_t>, 2> open_batches_{};
 };
 
 // One asynchronous multiget request against a single storage server: the
@@ -84,6 +111,8 @@ class MultiGetHandle {
  public:
   MultiGetHandle(StorageServer* server, std::vector<NodeId> keys)
       : server_(server), keys_(std::move(keys)) {}
+
+  ~MultiGetHandle() { ReleaseOpenSlot(); }
 
   MultiGetHandle(const MultiGetHandle&) = delete;
   MultiGetHandle& operator=(const MultiGetHandle&) = delete;
@@ -100,7 +129,10 @@ class MultiGetHandle {
     ExecuteOnly();
     MarkDone();
   }
-  void ExecuteOnly() { values_ = server_->MultiGet(keys_); }
+  void ExecuteOnly() {
+    values_ = server_->MultiGet(keys_);
+    ReleaseOpenSlot();
+  }
   void MarkDone() {
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -121,13 +153,25 @@ class MultiGetHandle {
     return values_;
   }
 
+  // Migration-drain accounting (repartitioning only; nullptr otherwise):
+  // the epoch slot StorageTier::StartMultiGet registered this handle in.
+  void set_open_slot(std::atomic<int64_t>* slot) { open_slot_ = slot; }
+
  private:
+  void ReleaseOpenSlot() {
+    std::atomic<int64_t>* slot = open_slot_.exchange(nullptr, std::memory_order_acq_rel);
+    if (slot != nullptr) {
+      slot->fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+
   StorageServer* server_;
   std::vector<NodeId> keys_;
   std::vector<AdjacencyPtr> values_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   bool done_ = false;
+  std::atomic<std::atomic<int64_t>*> open_slot_{nullptr};
 };
 
 // Seam between "who issues a multiget" and "who runs it". The default
@@ -155,6 +199,13 @@ class StorageTier {
   // Fetch through the tier (resolves the owning server).
   AdjacencyPtr Get(NodeId node);
 
+  // Stats-free fetch through the current map: no serving stats, no monitor
+  // record. Used by the migration-race healing path (src/proc/
+  // ResolveMigratedMisses) — the batch that raced the migration already
+  // counted the key as workload traffic once; counting the re-read too
+  // would make just-migrated partitions look hotter than they are.
+  AdjacencyPtr PeekCurrent(NodeId node);
+
   // Opens an async multiget against one server (counted as one batch for
   // that server's queueing stats). The handle is NOT serviced yet — hand it
   // to a BatchFetchExecutor, or call Execute() inline, then Wait().
@@ -167,11 +218,58 @@ class StorageTier {
   uint64_t TotalLiveBytes() const;
   uint64_t TotalValues() const;
 
+  // --- Adaptive repartitioning (src/partition/repartition.h) -------------
+  //
+  // EnableRepartitioning installs a PartitionMap over P = partitions_per_
+  // server x num_servers virtual partitions (same placement hash, so the
+  // initial layout is byte-identical to classic hash placement) plus a
+  // PartitionMonitor fed one Record() per key from Get/StartMultiGet.
+  // Incompatible with an explicit placement (there is no partition
+  // structure to migrate): LoadGraph(g, placement) after enabling — or
+  // enabling after it — is a checked error.
+  void EnableRepartitioning(uint32_t partitions_per_server);
+
+  bool repartitioning_enabled() const { return partition_map_ != nullptr; }
+  const PartitionMap* partition_map() const { return partition_map_.get(); }
+  PartitionMonitor* partition_monitor() { return partition_monitor_.get(); }
+
+  // What one executed migration physically moved.
+  struct MigrationResult {
+    uint32_t partition = 0;
+    uint32_t from = 0;
+    uint32_t to = 0;
+    uint64_t keys_moved = 0;
+    uint64_t bytes_moved = 0;
+  };
+
+  // Moves one partition to a new owner, exactly-once for concurrent
+  // readers: (1) copy every key of the partition to the destination, (2)
+  // flip the map entry so new lookups resolve to the destination, (3) drain
+  // multiget handles opened against the source before the flip (they still
+  // find the keys — copies are not yet deleted), (4) delete the source
+  // copies. A reader that raced the flip between its ServerOf lookup and
+  // StartMultiGet may still miss; CachedStorageSource re-resolves such
+  // misses through the tier (ResolveMigratedMisses in src/proc/).
+  MigrationResult MigratePartition(uint32_t partition, uint32_t to);
+
+  // Cumulative per-server served get counts (the storage_load_imbalance
+  // numerator/denominator).
+  std::vector<uint64_t> GetRequestsPerServer() const;
+
  private:
   std::vector<std::unique_ptr<StorageServer>> servers_;
   HashPartitioner hasher_;
   // Empty when hash placement is in effect.
   PartitionAssignment explicit_placement_;
+  // Installed by EnableRepartitioning; null = classic static placement.
+  std::unique_ptr<PartitionMap> partition_map_;
+  std::unique_ptr<PartitionMonitor> partition_monitor_;
+  // Per-partition key lists, built once at LoadGraph when repartitioning is
+  // on. Partition membership is a pure hash of the key and the tier's key
+  // population is fixed after load (only migrations move keys between
+  // servers), so each migration walks exactly its partition's keys instead
+  // of scanning the whole source server under its mutex.
+  std::vector<std::vector<NodeId>> partition_keys_;
 };
 
 }  // namespace grouting

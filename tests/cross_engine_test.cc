@@ -145,6 +145,56 @@ TEST_F(CrossEngineTest, ShardedAdaptiveParityForEveryScheme) {
   }
 }
 
+TEST_F(CrossEngineTest, RepartitioningParityForEveryScheme) {
+  // Answer parity must survive storage-tier repartitioning: the engines
+  // migrate partitions at different (virtual vs wall-clock) moments and the
+  // threaded engine's migrations genuinely race in-flight multigets, but
+  // WHAT is answered may not change. A Zipf stream plus a small cache keeps
+  // storage traffic — and therefore the monitor's migration signal — alive
+  // all run.
+  const Graph& g = env_->graph();
+  const auto queries = env_->SkewedWorkload(/*sessions=*/40, /*queries=*/300,
+                                            /*zipf_s=*/1.2);
+
+  for (const RoutingSchemeKind scheme : kAllSchemes) {
+    SCOPED_TRACE(RoutingSchemeKindName(scheme));
+    RunOptions opts = SmallRun(scheme);
+    opts.cache_bytes = 64 << 10;
+    opts.max_inflight_batches = 3;
+    opts.repartition_threshold = 1.1;
+    opts.repartition_cap = 4;
+    opts.partitions_per_server = 8;
+    opts.gossip_period_us = 50.0;
+    opts.arrival_gap_us = 2.0;
+    const ClusterConfig config = env_->MakeClusterConfig(opts);
+
+    auto sim = MakeClusterEngine(EngineKind::kSimulated, g, config,
+                                 env_->MakeStrategy(opts));
+    auto threaded = MakeClusterEngine(EngineKind::kThreaded, g, config,
+                                      env_->MakeStrategy(opts));
+    const ClusterMetrics sim_m = sim->Run(queries);
+    const ClusterMetrics thr_m = threaded->Run(queries);
+
+    ASSERT_EQ(sim_m.queries, queries.size());
+    ASSERT_EQ(thr_m.queries, queries.size());
+    // The path must actually be exercised on the deterministic engine.
+    EXPECT_GT(sim_m.partitions_migrated, 0u);
+
+    const auto sim_answers = SortedAnswers(*sim);
+    const auto thr_answers = SortedAnswers(*threaded);
+    ASSERT_EQ(sim_answers.size(), thr_answers.size());
+    for (size_t i = 0; i < sim_answers.size(); ++i) {
+      const AnsweredQuery& a = sim_answers[i];
+      const AnsweredQuery& b = thr_answers[i];
+      ASSERT_EQ(a.query_id, b.query_id) << "answer " << i;
+      EXPECT_EQ(a.result.aggregate, b.result.aggregate) << "query " << a.query_id;
+      EXPECT_EQ(a.result.walk_end, b.result.walk_end) << "query " << a.query_id;
+      EXPECT_EQ(a.result.reachable, b.result.reachable) << "query " << a.query_id;
+      EXPECT_EQ(a.result.distance, b.result.distance) << "query " << a.query_id;
+    }
+  }
+}
+
 TEST_F(CrossEngineTest, AsyncWindowParityForEveryScheme) {
   // The async storage pipeline (max_inflight_batches > 1) reshapes WHEN
   // fetches happen — per-batch completion events in the sim, per-processor
