@@ -69,6 +69,9 @@ inline void SetCounters(benchmark::State& state, const ClusterMetrics& m) {
   state.counters["cache_hits"] = static_cast<double>(m.cache_hits);
   state.counters["cache_misses"] = static_cast<double>(m.cache_misses);
   state.counters["steals"] = static_cast<double>(m.steals);
+  state.counters["compression_ratio"] = m.adjacency_compression_ratio;
+  state.counters["cache_entries"] = static_cast<double>(m.cache_entries);
+  state.counters["decompress_us"] = m.decompress_us;
 }
 
 // One collected row for the post-run summary table.
@@ -167,7 +170,9 @@ inline void WriteBenchJson(const std::string& name,
                    "\"storage_batches\": %llu, \"steals\": %llu, "
                    "\"batches_inflight_peak\": %u, \"fetch_overlap_us\": %.6g, "
                    "\"storage_load_imbalance\": %.6g, \"partitions_migrated\": %llu, "
-                   "\"repartition_stall_us\": %.6g}",
+                   "\"repartition_stall_us\": %.6g, "
+                   "\"adjacency_compression_ratio\": %.6g, \"cache_entries\": %llu, "
+                   "\"decompress_us\": %.6g, \"bytes_from_storage\": %llu}",
                    m.throughput_qps, m.mean_response_ms, m.p95_response_ms,
                    m.CacheHitRate(), static_cast<unsigned long long>(m.cache_hits),
                    static_cast<unsigned long long>(m.cache_misses),
@@ -175,7 +180,9 @@ inline void WriteBenchJson(const std::string& name,
                    static_cast<unsigned long long>(m.steals), m.batches_inflight_peak,
                    m.fetch_overlap_us, m.storage_load_imbalance,
                    static_cast<unsigned long long>(m.partitions_migrated),
-                   m.repartition_stall_us);
+                   m.repartition_stall_us, m.adjacency_compression_ratio,
+                   static_cast<unsigned long long>(m.cache_entries), m.decompress_us,
+                   static_cast<unsigned long long>(m.bytes_from_storage));
       first = false;
     }
   }

@@ -88,6 +88,10 @@ void PrintHelp() {
       "                           (default 4)\n"
       "  --partitions-per-server=<int>  virtual partitions per storage server\n"
       "                           (migration granularity, default 8)\n"
+      "  --adjacency-encoding=raw|delta_varint  storage wire format\n"
+      "                           (default raw)\n"
+      "  --cache-compressed       processor caches admit the compressed blob\n"
+      "                           (decode on hit; needs delta_varint to pay off)\n"
       "  --seed=<int>\n");
 }
 
@@ -181,6 +185,16 @@ int main(int argc, char** argv) {
   opts.repartition_cap = static_cast<uint32_t>(flags.GetInt("repartition-cap", 4));
   opts.partitions_per_server =
       static_cast<uint32_t>(flags.GetInt("partitions-per-server", 8));
+  const std::string encoding_name = flags.Get("adjacency-encoding", "raw");
+  if (encoding_name != "raw" && encoding_name != "delta_varint") {
+    std::fprintf(stderr, "unknown --adjacency-encoding '%s'; see --help\n",
+                 encoding_name.c_str());
+    return 1;
+  }
+  opts.adjacency_encoding = encoding_name == "delta_varint"
+                                ? AdjacencyEncoding::kDeltaVarint
+                                : AdjacencyEncoding::kRaw;
+  opts.cache_compressed = flags.values.count("cache-compressed") > 0;
 
   const Graph& g = env.graph();
   std::printf("dataset %s (scale %.2f): %zu nodes, %zu edges\n", dataset_name.c_str(),
@@ -203,6 +217,14 @@ int main(int argc, char** argv) {
                                        Table::Int(static_cast<int64_t>(m.cache_misses))});
   t.AddRow({"bytes from storage", Table::Bytes(m.bytes_from_storage)});
   t.AddRow({"storage batches", Table::Int(static_cast<int64_t>(m.storage_batches))});
+  if (opts.adjacency_encoding != AdjacencyEncoding::kRaw || opts.cache_compressed) {
+    t.AddRow({"adjacency encoding", AdjacencyEncodingName(opts.adjacency_encoding) +
+                                        (opts.cache_compressed ? " (compressed cache)"
+                                                               : "")});
+    t.AddRow({"compression ratio", Table::Num(m.adjacency_compression_ratio, 2) + "x"});
+    t.AddRow({"cache entries", Table::Int(static_cast<int64_t>(m.cache_entries))});
+    t.AddRow({"decompress time", Table::Num(m.decompress_us / 1000.0, 3) + " ms"});
+  }
   t.AddRow({"storage load imbalance",
             Table::Num(m.storage_load_imbalance, 2) + " max/min"});
   t.AddRow({"steals", Table::Int(static_cast<int64_t>(m.steals))});

@@ -14,7 +14,9 @@
 #include <cstdint>
 #include <list>
 #include <optional>
+#include <set>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
@@ -79,12 +81,26 @@ class NodeCache {
     NodeId key;
     V value;
     uint64_t bytes;
-    uint64_t freq = 1;     // LFU
+    uint64_t freq = 1;       // LFU
+    uint64_t seq = 0;        // LFU tie-break: monotonic insertion order
     bool referenced = true;  // CLOCK
   };
   using EntryList = std::list<Entry>;
+  // LFU victim index, ordered by (frequency, insertion seq, key): begin() is
+  // the least-frequently-used entry, oldest-inserted first — the same victim
+  // the historical O(n) full-list scan picked, found in O(log n).
+  using LfuIndex = std::set<std::tuple<uint64_t, uint64_t, NodeId>>;
 
   void EvictOne();
+
+  // LFU bookkeeping around a frequency bump (no-op for other policies).
+  void BumpFreq(Entry& entry) {
+    if (policy_ == CachePolicy::kLfu) {
+      lfu_index_.erase({entry.freq, entry.seq, entry.key});
+      lfu_index_.insert({entry.freq + 1, entry.seq, entry.key});
+    }
+    entry.freq += 1;
+  }
 
   uint64_t capacity_bytes_;
   CachePolicy policy_;
@@ -93,11 +109,13 @@ class NodeCache {
   // entries_ order semantics: front = next eviction candidate region.
   //   LRU  : most-recent at back; evict front.
   //   FIFO : insertion order; evict front.
-  //   LFU  : unordered; eviction scans for min freq (small caches; fine).
+  //   LFU  : insertion order; eviction via lfu_index_.
   //   CLOCK: circular scan with hand_ and reference bits.
   EntryList entries_;
   std::unordered_map<NodeId, typename EntryList::iterator> map_;
   typename EntryList::iterator hand_ = entries_.end();  // CLOCK hand
+  LfuIndex lfu_index_;
+  uint64_t next_seq_ = 0;
 };
 
 // ---- implementation ----
@@ -111,7 +129,7 @@ std::optional<V> NodeCache<V>::Get(NodeId key) {
   }
   ++stats_.hits;
   auto entry_it = it->second;
-  entry_it->freq += 1;
+  BumpFreq(*entry_it);
   entry_it->referenced = true;
   if (policy_ == CachePolicy::kLru) {
     entries_.splice(entries_.end(), entries_, entry_it);  // move to back (MRU)
@@ -134,14 +152,18 @@ void NodeCache<V>::Put(NodeId key, V value, uint64_t bytes) {
     it->second->value = std::move(value);
     it->second->bytes = bytes;
     it->second->referenced = true;
-    it->second->freq += 1;
+    BumpFreq(*it->second);
     size_bytes_ += bytes;
     if (policy_ == CachePolicy::kLru) {
       entries_.splice(entries_.end(), entries_, it->second);
     }
   } else {
     entries_.push_back(Entry{key, std::move(value), bytes});
+    entries_.back().seq = next_seq_++;
     map_[key] = std::prev(entries_.end());
+    if (policy_ == CachePolicy::kLfu) {
+      lfu_index_.insert({entries_.back().freq, entries_.back().seq, key});
+    }
     size_bytes_ += bytes;
     ++stats_.inserts;
   }
@@ -160,12 +182,8 @@ void NodeCache<V>::EvictOne() {
       victim = entries_.begin();
       break;
     case CachePolicy::kLfu: {
-      victim = entries_.begin();
-      for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-        if (it->freq < victim->freq) {
-          victim = it;
-        }
-      }
+      GROUTING_CHECK(!lfu_index_.empty());
+      victim = map_.at(std::get<2>(*lfu_index_.begin()));
       break;
     }
     case CachePolicy::kClock: {
@@ -191,6 +209,9 @@ void NodeCache<V>::EvictOne() {
   size_bytes_ -= victim->bytes;
   stats_.bytes_evicted += victim->bytes;
   ++stats_.evictions;
+  if (policy_ == CachePolicy::kLfu) {
+    lfu_index_.erase({victim->freq, victim->seq, victim->key});
+  }
   map_.erase(victim->key);
   if (hand_ == victim) {
     hand_ = entries_.end();
@@ -207,6 +228,9 @@ void NodeCache<V>::Erase(NodeId key) {
   if (hand_ == it->second) {
     hand_ = entries_.end();
   }
+  if (policy_ == CachePolicy::kLfu) {
+    lfu_index_.erase({it->second->freq, it->second->seq, key});
+  }
   size_bytes_ -= it->second->bytes;
   entries_.erase(it->second);
   map_.erase(it);
@@ -216,6 +240,7 @@ template <typename V>
 void NodeCache<V>::Clear() {
   entries_.clear();
   map_.clear();
+  lfu_index_.clear();
   size_bytes_ = 0;
   hand_ = entries_.end();
 }

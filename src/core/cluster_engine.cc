@@ -32,6 +32,12 @@ ClusterEngine::ClusterEngine(const Graph& graph, const ClusterConfig& config,
                      "max_inflight_batches must be >= 1");
   repartition_config_ = config_.MakeRepartitionConfig();
   storage_ = std::make_unique<StorageTier>(config_.num_storage_servers);
+  storage_->set_encoding(config_.adjacency_encoding);
+  if (config_.processor.cache_compressed) {
+    // Compressed processor caches admit the wire blob, so every decode must
+    // keep it attached to the entry.
+    storage_->set_retain_wire(true);
+  }
   if (repartition_config_.enabled()) {
     GROUTING_CHECK_MSG(placement == nullptr,
                        "storage repartitioning is incompatible with an explicit "
@@ -60,12 +66,17 @@ void ClusterEngine::AddProcessorStats(ClusterMetrics* m) const {
     m->batches_inflight_peak =
         std::max(m->batches_inflight_peak, proc->stats().batches_inflight_peak);
     m->fetch_overlap_us += proc->stats().fetch_overlap_us;
+    m->decompress_us += proc->stats().decompress_us;
+    if (proc->cache_enabled()) {
+      m->cache_entries += proc->cache()->entry_count();
+    }
   }
 }
 
 void ClusterEngine::AddStorageTierStats(ClusterMetrics* m) const {
   m->storage_load_imbalance = StorageLoadImbalance(storage_->GetRequestsPerServer());
   m->partitions_migrated = partitions_migrated_;
+  m->adjacency_compression_ratio = storage_->AdjacencyCompressionRatio();
 }
 
 std::vector<StorageTier::MigrationResult> ClusterEngine::RepartitionRound() {

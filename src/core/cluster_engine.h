@@ -58,7 +58,9 @@ struct ClusterConfig {
   // Idle processors steal queued queries from the longest sibling queue.
   bool enable_stealing = true;
   // Virtual-time cost model. Drives the simulated engine; the threaded
-  // engine runs at memory speed and only honours injected_network_us.
+  // engine runs at memory speed and honours only the network terms: a
+  // 2 x injected_network_us round trip plus cost.net.per_kb_us on each
+  // batch's wire bytes (both skipped when injected_network_us is 0).
   CostModel cost = CostModel::InfinibandDefaults();
   // Inter-arrival gap between queries at the router (µs); the paper sends
   // queries back to back. The simulated engine schedules arrivals in
@@ -67,6 +69,11 @@ struct ClusterConfig {
   // Threaded engine: injected one-way network delay per storage batch
   // (busy-wait, µs). 0 = memory speed.
   double injected_network_us = 0.0;
+  // Wire format the storage tier stores and ships adjacency blobs in
+  // (src/storage/adjacency.h). kDeltaVarint compresses sorted neighbour
+  // ids to delta varints, cutting per-KB network transfer; decoding
+  // auto-detects, so either setting reads either format.
+  AdjacencyEncoding adjacency_encoding = AdjacencyEncoding::kRaw;
 
   // --- Router frontend tier (src/frontend/) ---
   // Shared-nothing router shards fed by the arrival splitter; each owns a
@@ -179,6 +186,16 @@ struct ClusterMetrics {
   // the simulated engine, wall-clock time the gossip tick spent copying /
   // draining / deleting on the threaded one (µs).
   double repartition_stall_us = 0.0;
+  // Logical (v1) bytes / encoded wire bytes across the loaded graph; 1.0
+  // under raw encoding.
+  double adjacency_compression_ratio = 1.0;
+  // Adjacency entries resident across all processor caches at run end —
+  // the compressed-cache win is this count at a fixed byte budget.
+  uint64_t cache_entries = 0;
+  // Time spent decoding compressed blobs on cache hits: the cost model's
+  // virtual charge on the simulated engine (hits + fetched installs), wall
+  // decode time on the threaded one (µs). 0 in raw/uncompressed mode.
+  double decompress_us = 0.0;
 
   double CacheHitRate() const {
     const uint64_t total = cache_hits + cache_misses;

@@ -114,6 +114,8 @@ ClusterConfig ExperimentEnv::MakeClusterConfig(const RunOptions& options) {
   config.processor.cache_policy = options.cache_policy;
   config.processor.use_cache = options.scheme != RoutingSchemeKind::kNoCache;
   config.processor.max_inflight_batches = options.max_inflight_batches;
+  config.processor.cache_compressed = options.cache_compressed;
+  config.adjacency_encoding = options.adjacency_encoding;
   config.cost = options.cost;
   // The threaded engine cannot pace virtual time, but carrying the network
   // profile's propagation delay as an injected per-batch wait keeps

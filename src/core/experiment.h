@@ -52,6 +52,11 @@ struct RunOptions {
   // Async storage pipeline: bound on outstanding multiget batches per
   // processor. 1 = the classic synchronous level barrier.
   uint32_t max_inflight_batches = 1;
+  // Adjacency wire format the storage tier stores and ships
+  // (src/storage/adjacency.h), and whether processor caches admit the
+  // compressed blob instead of the decoded entry.
+  AdjacencyEncoding adjacency_encoding = AdjacencyEncoding::kRaw;
+  bool cache_compressed = false;
   // Router frontend tier: shards of the arrival stream, splitter kind, and
   // the load/EMA gossip between them (see src/frontend/).
   uint32_t router_shards = 1;

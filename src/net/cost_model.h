@@ -71,6 +71,12 @@ struct CostModel {
   // too-small cache WORSE than no cache at all (paper Fig. 9).
   double cache_lookup_us = 0.05;
   double cache_insert_us = 0.15;
+  // Decoding a delta+varint (v2) adjacency blob back into edge arrays:
+  // fixed per-entry cost plus a per-edge term (varint decode + prefix sum).
+  // Charged on every compressed cache hit and on every compressed blob
+  // fetched from storage; zero-cost in raw mode by construction.
+  double decompress_base_us = 0.1;
+  double decompress_per_edge_us = 0.005;
 
   // --- Router ---
   // Fixed routing decision cost plus per-processor scan cost; Embed routing

@@ -22,12 +22,22 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "src/cache/cache.h"
 #include "src/query/query.h"
 #include "src/storage/storage_tier.h"
 
 namespace grouting {
+
+// One processor-cache slot. Normal mode holds the decoded entry; compressed
+// mode (ProcessorConfig::cache_compressed) holds the wire blob instead —
+// charged at its encoded size against the byte budget, and decoded again on
+// every hit. Exactly one of the two pointers is set.
+struct CachedAdjacency {
+  AdjacencyPtr decoded;
+  std::shared_ptr<const std::vector<uint8_t>> encoded;
+};
 
 // Re-resolves multiget misses that raced a partition migration: a batch
 // formed against a server that lost its keys between the ServerOf lookup
@@ -48,16 +58,22 @@ struct ProcessorConfig {
   // pipeline (the sim replays it with per-batch completion events; the
   // threaded runtime services handles on a per-processor fetch thread).
   uint32_t max_inflight_batches = 1;
+  // Cache the ENCODED wire blob instead of the decoded entry: the byte
+  // budget holds several times more vertices under delta_varint encoding,
+  // at the price of a decode (CostModel::decompress_*) on every hit.
+  // Requires the storage tier to run in retain-wire mode.
+  bool cache_compressed = false;
 };
 
 // NodeDataSource that fronts the storage tier with a processor-local cache.
 class CachedStorageSource : public NodeDataSource {
  public:
-  CachedStorageSource(StorageTier* storage, NodeCache<AdjacencyPtr>* cache,
-                      uint32_t max_inflight_batches = 1)
+  CachedStorageSource(StorageTier* storage, NodeCache<CachedAdjacency>* cache,
+                      uint32_t max_inflight_batches = 1, bool cache_compressed = false)
       : storage_(storage),
         cache_(cache),
-        window_(max_inflight_batches == 0 ? 1 : max_inflight_batches) {
+        window_(max_inflight_batches == 0 ? 1 : max_inflight_batches),
+        cache_compressed_(cache_compressed) {
     GROUTING_CHECK(storage_ != nullptr);
   }
 
@@ -85,8 +101,9 @@ class CachedStorageSource : public NodeDataSource {
                       double* blocked_us);
 
   StorageTier* storage_;
-  NodeCache<AdjacencyPtr>* cache_;  // nullptr = no-cache mode
+  NodeCache<CachedAdjacency>* cache_;  // nullptr = no-cache mode
   uint32_t window_;
+  bool cache_compressed_;
   BatchFetchExecutor* executor_ = nullptr;
   FetchTrace trace_;
 };
@@ -102,6 +119,9 @@ struct ProcessorStats {
   // accumulated overlap between in-flight fetches and processor-side work.
   uint32_t batches_inflight_peak = 0;
   double fetch_overlap_us = 0.0;
+  // Wall time decoding compressed blobs on cache hits (threaded runtime;
+  // the sim replaces it with the cost model's virtual charge).
+  double decompress_us = 0.0;
 };
 
 class QueryProcessor {
@@ -122,13 +142,13 @@ class QueryProcessor {
     source_->set_fetch_executor(executor);
   }
   bool cache_enabled() const { return cache_ != nullptr; }
-  NodeCache<AdjacencyPtr>* cache() { return cache_.get(); }
-  const NodeCache<AdjacencyPtr>* cache() const { return cache_.get(); }
+  NodeCache<CachedAdjacency>* cache() { return cache_.get(); }
+  const NodeCache<CachedAdjacency>* cache() const { return cache_.get(); }
   void ResetStats();
 
  private:
   uint32_t id_;
-  std::unique_ptr<NodeCache<AdjacencyPtr>> cache_;  // null in no-cache mode
+  std::unique_ptr<NodeCache<CachedAdjacency>> cache_;  // null in no-cache mode
   std::unique_ptr<CachedStorageSource> source_;
   ProcessorStats stats_;
 };

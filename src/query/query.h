@@ -66,12 +66,17 @@ struct FetchTrace {
   uint64_t cache_misses = 0;
   uint64_t cache_lookups = 0;  // hits + misses when cache enabled, else 0
   uint64_t visited = 0;        // adjacency entries consumed
-  uint64_t bytes_fetched = 0;  // shipped from the storage tier
+  uint64_t bytes_fetched = 0;  // shipped from the storage tier (wire bytes)
+  // Wall time spent decoding compressed blobs on cache hits (threaded
+  // runtime, cache_compressed mode). The simulator charges its virtual
+  // equivalent from CostModel::decompress_* during replay instead.
+  double decompress_us = 0.0;
 
   struct Batch {
     uint32_t server = 0;
     uint32_t values = 0;
     uint64_t bytes = 0;
+    uint64_t edges = 0;  // total edges across the batch's values
     uint32_t level = 0;  // traversal round the batch belongs to
   };
   std::vector<Batch> batches;
@@ -83,7 +88,9 @@ struct FetchTrace {
     uint32_t lookups = 0;
     uint32_t hits = 0;
     uint32_t misses = 0;
-    uint32_t fetched = 0;  // values actually returned by storage
+    uint32_t fetched = 0;        // values actually returned by storage
+    uint64_t hit_edges = 0;      // edges across cache-hit entries
+    uint64_t fetched_edges = 0;  // edges across storage-fetched entries
   };
   std::vector<Level> level_stats;
 

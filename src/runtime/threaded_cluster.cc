@@ -299,8 +299,14 @@ void ThreadedCluster::FetchLoop(uint32_t p) {
   // overlap the async pipeline exists for. Completion order is FIFO, which
   // matches the processor's oldest-first Wait() order.
   std::deque<std::pair<std::shared_ptr<MultiGetHandle>, Clock::time_point>> pending;
-  const auto rtt = std::chrono::nanoseconds(
+  const auto rtt_base = std::chrono::nanoseconds(
       static_cast<int64_t>(2.0 * config_.injected_network_us * 1000.0));
+  // Transfer time scales with the reply's wire bytes (the cost model's
+  // per-KB term), so a compressed adjacency encoding genuinely shortens
+  // the trip. Gated like the base term: injected_network_us == 0 keeps the
+  // engine at memory speed.
+  const double per_kb_us =
+      config_.injected_network_us > 0.0 ? config_.cost.net.per_kb_us : 0.0;
   const auto ripen = [&pending] {
     while (!pending.empty() && Clock::now() >= pending.front().second) {
       pending.front().first->MarkDone();
@@ -330,7 +336,10 @@ void ThreadedCluster::FetchLoop(uint32_t p) {
     }
     const auto sent_at = Clock::now();
     (*request)->ExecuteOnly();
-    pending.emplace_back(std::move(*request), sent_at + rtt);
+    const auto transfer = std::chrono::nanoseconds(static_cast<int64_t>(
+        per_kb_us * static_cast<double>((*request)->payload_bytes()) / 1024.0 *
+        1000.0));
+    pending.emplace_back(std::move(*request), sent_at + rtt_base + transfer);
     ripen();
   }
   while (!pending.empty()) {
@@ -365,12 +374,20 @@ void ThreadedCluster::ProcessorLoop(uint32_t p) {
     }
     QueryResult result = processors_[p]->Execute(routed.query);
     if (config_.injected_network_us > 0.0 && !async_fetch_) {
-      // Synchronous path: two one-way hops per storage batch of the query
-      // just executed, serialised after the fact. The async pipeline incurs
-      // the same per-batch round trip inside FetchLoop instead, where the
-      // trips overlap with each other and with the processor's cache work.
-      const auto batches = processors_[p]->last_trace().batches.size();
-      BusyWaitUs(2.0 * config_.injected_network_us * static_cast<double>(batches));
+      // Synchronous path: two one-way hops plus the per-KB transfer of each
+      // storage batch of the query just executed, serialised after the
+      // fact. The async pipeline incurs the same per-batch round trip
+      // inside FetchLoop instead, where the trips overlap with each other
+      // and with the processor's cache work.
+      const auto& batches = processors_[p]->last_trace().batches;
+      uint64_t wire_bytes = 0;
+      for (const auto& b : batches) {
+        wire_bytes += b.bytes;
+      }
+      BusyWaitUs(2.0 * config_.injected_network_us *
+                     static_cast<double>(batches.size()) +
+                 config_.cost.net.per_kb_us *
+                     static_cast<double>(wire_bytes) / 1024.0);
     }
     samples.response_us.push_back(ElapsedUs(dispatched, Clock::now()));
     completions_.Push(AnsweredQuery{routed.query.id, p, result});

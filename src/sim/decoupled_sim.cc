@@ -99,6 +99,7 @@ ClusterMetrics DecoupledClusterSim::Run(std::span<const Query> queries) {
   // meaningless for the simulated engine.
   m.batches_inflight_peak = batches_inflight_peak_;
   m.fetch_overlap_us = total_fetch_overlap_us_;
+  m.decompress_us = decompress_us_;
   AddStorageTierStats(&m);
   m.repartition_stall_us = repartition_stall_us_;
   return m;
@@ -197,8 +198,17 @@ void DecoupledClusterSim::StartLevelSync(uint32_t p) {
   const FetchTrace& trace = f.trace;
   const FetchTrace::Level& level = trace.level_stats[f.next_level];
   const CostModel& cost = config_.cost;
-  const SimTimeUs probes_done =
+  SimTimeUs probes_done =
       events_.now() + cost.cache_lookup_us * static_cast<double>(level.lookups);
+  if (config_.processor.cache_compressed) {
+    // Compressed cache slots decode on every hit; the decode is probe-side
+    // work, serial with the lookups.
+    const SimTimeUs hit_decode =
+        cost.decompress_base_us * static_cast<double>(level.hits) +
+        cost.decompress_per_edge_us * static_cast<double>(level.hit_edges);
+    probes_done += hit_decode;
+    decompress_us_ += hit_decode;
+  }
 
   // Collect this level's miss batches (they were recorded level-ordered).
   const size_t batch_begin = f.next_batch;
@@ -222,6 +232,15 @@ void DecoupledClusterSim::StartLevelSync(uint32_t p) {
     SimTimeUs t = fl.level_fetch_done;
     if (cached) {
       t += cm.cache_insert_us * static_cast<double>(lvl.fetched);
+    }
+    if (config_.adjacency_encoding == AdjacencyEncoding::kDeltaVarint) {
+      // Every fetched value arrived as a compressed blob and is decoded
+      // before the level's inserts/compute can consume it.
+      const SimTimeUs fetch_decode =
+          cm.decompress_base_us * static_cast<double>(lvl.fetched) +
+          cm.decompress_per_edge_us * static_cast<double>(lvl.fetched_edges);
+      t += fetch_decode;
+      decompress_us_ += fetch_decode;
     }
     t += cm.compute_per_node_us * static_cast<double>(lvl.hits + lvl.fetched);
     fl.next_level += 1;
@@ -293,6 +312,13 @@ void DecoupledClusterSim::StartLevelAsync(uint32_t p) {
   // Probe phase + hit-side compute overlap with the outstanding batches.
   f.hit_work_done = t + cost.cache_lookup_us * static_cast<double>(level.lookups) +
                     cost.compute_per_node_us * static_cast<double>(level.hits);
+  if (config_.processor.cache_compressed) {
+    const SimTimeUs hit_decode =
+        cost.decompress_base_us * static_cast<double>(level.hits) +
+        cost.decompress_per_edge_us * static_cast<double>(level.hit_edges);
+    f.hit_work_done += hit_decode;
+    decompress_us_ += hit_decode;
+  }
   f.cpu_free = f.hit_work_done;
   f.next_unissued = batch_begin + first_wave;
   f.batches_outstanding = static_cast<uint32_t>(first_wave);
@@ -346,6 +372,13 @@ void DecoupledClusterSim::ReplyBatchAsync(uint32_t p, size_t batch_index) {
   SimTimeUs post_us = cm.compute_per_node_us * static_cast<double>(batch.values);
   if (processors_[p]->cache_enabled()) {
     post_us += cm.cache_insert_us * static_cast<double>(batch.values);
+  }
+  if (config_.adjacency_encoding == AdjacencyEncoding::kDeltaVarint) {
+    const SimTimeUs fetch_decode =
+        cm.decompress_base_us * static_cast<double>(batch.values) +
+        cm.decompress_per_edge_us * static_cast<double>(batch.edges);
+    post_us += fetch_decode;
+    decompress_us_ += fetch_decode;
   }
   f.cpu_free = post_start + post_us;
 

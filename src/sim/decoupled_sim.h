@@ -139,6 +139,10 @@ class DecoupledClusterSim : public ClusterEngine {
   uint32_t batches_inflight_peak_ = 0;
   // Virtual storage-server busy time added by partition migrations.
   double repartition_stall_us_ = 0.0;
+  // Virtual decode time charged for compressed adjacency blobs (cache hits
+  // under cache_compressed, fetched values under delta_varint). Overrides
+  // the processors' wall-clock decompress_us in the reported metrics.
+  double decompress_us_ = 0.0;
   std::vector<LevelCompletion> level_completions_;
 };
 

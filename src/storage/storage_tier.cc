@@ -14,7 +14,7 @@ AdjacencyPtr StorageServer::Get(NodeId node) {
   }
   ++stats_.values_served;
   stats_.bytes_served += blob->size();
-  return DecodeAdjacency(*blob);
+  return DecodeAdjacency(*blob, retain_wire_);
 }
 
 std::vector<AdjacencyPtr> StorageServer::MultiGet(std::span<const NodeId> nodes) {
@@ -33,7 +33,7 @@ std::vector<AdjacencyPtr> StorageServer::MultiGet(std::span<const NodeId> nodes)
     }
     ++stats_.values_served;
     stats_.bytes_served += blob->size();
-    result.push_back(DecodeAdjacency(*blob));
+    result.push_back(DecodeAdjacency(*blob, retain_wire_));
   }
   return result;
 }
@@ -68,7 +68,9 @@ void StorageTier::LoadGraph(const Graph& g) {
     partition_keys_.assign(partition_map_->num_partitions(), {});
   }
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    const auto blob = EncodeAdjacency(g, u);
+    const auto blob = EncodeAdjacency(g, u, encoding_);
+    logical_bytes_loaded_ += g.AdjacencyBytes(u);
+    encoded_bytes_loaded_ += blob.size();
     servers_[ServerOf(u)]->Load(u, blob);
     if (partition_map_ != nullptr) {
       partition_keys_[partition_map_->PartitionOf(u)].push_back(u);
@@ -83,8 +85,17 @@ void StorageTier::LoadGraph(const Graph& g, const PartitionAssignment& placement
   explicit_placement_ = placement;
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
     GROUTING_CHECK(placement[u] < servers_.size());
-    const auto blob = EncodeAdjacency(g, u);
+    const auto blob = EncodeAdjacency(g, u, encoding_);
+    logical_bytes_loaded_ += g.AdjacencyBytes(u);
+    encoded_bytes_loaded_ += blob.size();
     servers_[placement[u]]->Load(u, blob);
+  }
+}
+
+void StorageTier::set_retain_wire(bool retain) {
+  retain_wire_ = retain;
+  for (auto& s : servers_) {
+    s->set_retain_wire(retain);
   }
 }
 
@@ -110,7 +121,7 @@ AdjacencyPtr StorageTier::PeekCurrent(NodeId node) {
   if (!blob.has_value()) {
     return nullptr;
   }
-  return DecodeAdjacency(*blob);
+  return DecodeAdjacency(*blob, retain_wire_);
 }
 
 std::shared_ptr<MultiGetHandle> StorageTier::StartMultiGet(uint32_t server,

@@ -40,6 +40,11 @@ class StorageServer {
 
   uint32_t id() const { return id_; }
 
+  // When on, every decode keeps a copy of the wire blob on the entry
+  // (AdjacencyEntry::wire) so compressed processor caches can admit the
+  // encoded bytes. Set once at cluster assembly, before any traffic.
+  void set_retain_wire(bool retain) { retain_wire_ = retain; }
+
   void Load(NodeId node, std::span<const uint8_t> value) {
     std::lock_guard<std::mutex> lock(mu_);
     store_.Put(node, value);
@@ -96,6 +101,7 @@ class StorageServer {
   mutable std::mutex mu_;
   LogStructuredStore store_;
   StorageServerStats stats_;
+  bool retain_wire_ = false;
   // Migration-drain state (used only when the tier has repartitioning on).
   std::atomic<uint32_t> epoch_{0};
   std::array<std::atomic<int64_t>, 2> open_batches_{};
@@ -131,6 +137,13 @@ class MultiGetHandle {
   }
   void ExecuteOnly() {
     values_ = server_->MultiGet(keys_);
+    uint64_t bytes = 0;
+    for (const AdjacencyPtr& v : values_) {
+      if (v != nullptr) {
+        bytes += v->WireBytes();
+      }
+    }
+    payload_bytes_ = bytes;
     ReleaseOpenSlot();
   }
   void MarkDone() {
@@ -145,6 +158,11 @@ class MultiGetHandle {
     std::lock_guard<std::mutex> lock(mu_);
     return done_;
   }
+
+  // Wire bytes of the reply payload (sum of the fetched blobs' encoded
+  // sizes). Valid after Execute/ExecuteOnly; what the modelled network
+  // round trip charges per kilobyte — so compressed blobs ship faster.
+  uint64_t payload_bytes() const { return payload_bytes_; }
 
   // Blocks until completion; the returned values positionally match keys().
   const std::vector<AdjacencyPtr>& Wait() {
@@ -168,6 +186,7 @@ class MultiGetHandle {
   StorageServer* server_;
   std::vector<NodeId> keys_;
   std::vector<AdjacencyPtr> values_;
+  uint64_t payload_bytes_ = 0;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   bool done_ = false;
@@ -189,9 +208,28 @@ class StorageTier {
   explicit StorageTier(size_t num_servers, uint32_t hash_seed = 0x9747b28cu);
 
   // Loads every node's adjacency entry, placed by MurmurHash3 (default) or
-  // by an explicit node->server assignment.
+  // by an explicit node->server assignment. Blobs are written in the tier's
+  // configured wire encoding (set_encoding, before load).
   void LoadGraph(const Graph& g);
   void LoadGraph(const Graph& g, const PartitionAssignment& placement);
+
+  // Wire encoding for subsequently loaded blobs (decode auto-detects, so
+  // changing it mid-life only affects new writes).
+  void set_encoding(AdjacencyEncoding encoding) { encoding_ = encoding; }
+  AdjacencyEncoding encoding() const { return encoding_; }
+
+  // Propagates retain-wire mode (see StorageServer::set_retain_wire) to
+  // every server, and to this tier's own PeekCurrent decodes.
+  void set_retain_wire(bool retain);
+
+  // logical (v1) bytes / encoded wire bytes across everything loaded so
+  // far; 1.0 under raw encoding (and before any load).
+  double AdjacencyCompressionRatio() const {
+    return encoded_bytes_loaded_ == 0
+               ? 1.0
+               : static_cast<double>(logical_bytes_loaded_) /
+                     static_cast<double>(encoded_bytes_loaded_);
+  }
 
   size_t num_servers() const { return servers_.size(); }
   uint32_t ServerOf(NodeId node) const;
@@ -259,6 +297,10 @@ class StorageTier {
  private:
   std::vector<std::unique_ptr<StorageServer>> servers_;
   HashPartitioner hasher_;
+  AdjacencyEncoding encoding_ = AdjacencyEncoding::kRaw;
+  bool retain_wire_ = false;
+  uint64_t logical_bytes_loaded_ = 0;
+  uint64_t encoded_bytes_loaded_ = 0;
   // Empty when hash placement is in effect.
   PartitionAssignment explicit_placement_;
   // Installed by EnableRepartitioning; null = classic static placement.

@@ -79,6 +79,47 @@ TEST(CacheTest, LfuEvictsLeastFrequent) {
   EXPECT_TRUE(cache.Contains(3));
 }
 
+TEST(CacheTest, LfuTiesBreakByInsertionOrder) {
+  // The ordered LFU index must keep the historical tie-break: among entries
+  // with equal frequency, the one inserted first is evicted first.
+  IntCache cache(30, CachePolicy::kLfu);
+  cache.Put(7, 7, 10);
+  cache.Put(8, 8, 10);
+  cache.Put(9, 9, 10);  // all at freq 0
+  cache.Put(10, 10, 10);
+  EXPECT_FALSE(cache.Contains(7));  // oldest of the tied set goes first
+  EXPECT_TRUE(cache.Contains(8));
+  EXPECT_TRUE(cache.Contains(9));
+  EXPECT_TRUE(cache.Contains(10));
+  // Erase + re-insert places the key at the back of the tie queue.
+  cache.Erase(8);
+  cache.Put(8, 8, 10);
+  cache.Put(11, 11, 10);
+  EXPECT_FALSE(cache.Contains(9));
+  EXPECT_TRUE(cache.Contains(8));
+}
+
+TEST(CacheTest, LfuEvictionScalesWithManyEntries) {
+  // Regression guard for the O(n) eviction scan: a big churny workload over
+  // a full cache must stay exact (victim = min (freq, insertion order)).
+  IntCache cache(100 * 10, CachePolicy::kLfu);
+  for (int i = 0; i < 100; ++i) {
+    cache.Put(static_cast<NodeId>(i), i, 10);
+  }
+  for (int i = 50; i < 100; ++i) {  // bump the upper half
+    cache.Get(static_cast<NodeId>(i));
+  }
+  for (int i = 100; i < 150; ++i) {  // 50 inserts evict exactly the cold half
+    cache.Put(static_cast<NodeId>(i), i, 10);
+  }
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(cache.Contains(static_cast<NodeId>(i))) << i;
+  }
+  for (int i = 50; i < 150; ++i) {
+    EXPECT_TRUE(cache.Contains(static_cast<NodeId>(i))) << i;
+  }
+}
+
 TEST(CacheTest, ClockSecondChance) {
   IntCache cache(30, CachePolicy::kClock);
   cache.Put(1, 1, 10);

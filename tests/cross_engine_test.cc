@@ -250,6 +250,81 @@ TEST_F(CrossEngineTest, AsyncWindowParityForEveryScheme) {
   }
 }
 
+TEST_F(CrossEngineTest, EncodingParityForEveryScheme) {
+  // Answers must be invariant to the adjacency wire format and to the
+  // compressed-cache mode, on both engines: raw (the reference), compressed
+  // blobs with a decoded cache, and compressed blobs cached compressed. A
+  // small cache keeps eviction — and thus refetch/decode traffic — alive.
+  const Graph& g = env_->graph();
+  const auto queries = env_->HotspotWorkload(2, 2, 25, 4);
+
+  struct EncodingMode {
+    const char* name;
+    AdjacencyEncoding encoding;
+    bool cache_compressed;
+  };
+  constexpr EncodingMode kModes[] = {
+      {"delta_varint", AdjacencyEncoding::kDeltaVarint, false},
+      {"delta_varint+cc", AdjacencyEncoding::kDeltaVarint, true},
+  };
+
+  for (const RoutingSchemeKind scheme : kAllSchemes) {
+    SCOPED_TRACE(RoutingSchemeKindName(scheme));
+    RunOptions raw_opts = SmallRun(scheme);
+    raw_opts.cache_bytes = 64 << 10;
+    auto raw_sim = MakeClusterEngine(EngineKind::kSimulated, g,
+                                     env_->MakeClusterConfig(raw_opts),
+                                     env_->MakeStrategy(raw_opts));
+    raw_sim->Run(queries);
+    const auto reference = SortedAnswers(*raw_sim);
+    ASSERT_EQ(reference.size(), queries.size());
+
+    for (const EncodingMode& mode : kModes) {
+      SCOPED_TRACE(mode.name);
+      RunOptions opts = SmallRun(scheme);
+      opts.cache_bytes = 64 << 10;
+      opts.adjacency_encoding = mode.encoding;
+      opts.cache_compressed = mode.cache_compressed;
+      const ClusterConfig config = env_->MakeClusterConfig(opts);
+
+      auto sim = MakeClusterEngine(EngineKind::kSimulated, g, config,
+                                   env_->MakeStrategy(opts));
+      auto threaded = MakeClusterEngine(EngineKind::kThreaded, g, config,
+                                        env_->MakeStrategy(opts));
+      const ClusterMetrics sim_m = sim->Run(queries);
+      const ClusterMetrics thr_m = threaded->Run(queries);
+      ASSERT_EQ(sim_m.queries, queries.size());
+      ASSERT_EQ(thr_m.queries, queries.size());
+      // Compressed blobs must actually be smaller on this dataset.
+      EXPECT_GT(sim_m.adjacency_compression_ratio, 1.0);
+
+      const auto sim_answers = SortedAnswers(*sim);
+      const auto thr_answers = SortedAnswers(*threaded);
+      ASSERT_EQ(sim_answers.size(), reference.size());
+      ASSERT_EQ(thr_answers.size(), reference.size());
+      for (size_t i = 0; i < reference.size(); ++i) {
+        const AnsweredQuery& r = reference[i];
+        const AnsweredQuery& a = sim_answers[i];
+        const AnsweredQuery& b = thr_answers[i];
+        ASSERT_EQ(r.query_id, a.query_id) << "answer " << i;
+        ASSERT_EQ(r.query_id, b.query_id) << "answer " << i;
+        for (const AnsweredQuery* other : {&a, &b}) {
+          EXPECT_EQ(r.result.aggregate, other->result.aggregate)
+              << "query " << r.query_id;
+          EXPECT_EQ(r.result.walk_end, other->result.walk_end)
+              << "query " << r.query_id;
+          EXPECT_EQ(r.result.walk_distinct_nodes, other->result.walk_distinct_nodes)
+              << "query " << r.query_id;
+          EXPECT_EQ(r.result.reachable, other->result.reachable)
+              << "query " << r.query_id;
+          EXPECT_EQ(r.result.distance, other->result.distance)
+              << "query " << r.query_id;
+        }
+      }
+    }
+  }
+}
+
 TEST_F(CrossEngineTest, EnvRunWorksOnBothEnginesForEveryScheme) {
   for (const RoutingSchemeKind scheme : kAllSchemes) {
     SCOPED_TRACE(RoutingSchemeKindName(scheme));

@@ -215,7 +215,7 @@ TEST(TraceTest, CachedSourceHitsOnRepeat) {
   Graph g = GenerateErdosRenyi(100, 400, 11);
   StorageTier tier(2);
   tier.LoadGraph(g);
-  NodeCache<AdjacencyPtr> cache(1 << 20);
+  NodeCache<CachedAdjacency> cache(1 << 20);
   CachedStorageSource source(&tier, &cache);
   ExecuteQuery(Agg(0, 2), source);
   const uint64_t first_misses = source.trace().cache_misses;
@@ -255,7 +255,7 @@ TEST(TraceTest, ResultsIdenticalWithAndWithoutCache) {
   Graph g = GenerateBarabasiAlbert(300, 4, 13);
   StorageTier tier(2);
   tier.LoadGraph(g);
-  NodeCache<AdjacencyPtr> cache(1 << 22);
+  NodeCache<CachedAdjacency> cache(1 << 22);
   CachedStorageSource cached(&tier, &cache);
   DirectGraphSource direct(g);
   Rng rng(14);
