@@ -64,7 +64,10 @@ inline const std::vector<RoutingSchemeKind>& AllSchemes() {
 inline void SetCounters(benchmark::State& state, const ClusterMetrics& m) {
   state.counters["throughput_qps"] = m.throughput_qps;
   state.counters["response_ms"] = m.mean_response_ms;
+  state.counters["p50_response_ms"] = m.p50_response_ms;
   state.counters["p95_response_ms"] = m.p95_response_ms;
+  state.counters["p99_response_ms"] = m.p99_response_ms;
+  state.counters["p999_response_ms"] = m.p999_response_ms;
   state.counters["hit_rate_pct"] = 100.0 * m.CacheHitRate();
   state.counters["cache_hits"] = static_cast<double>(m.cache_hits);
   state.counters["cache_misses"] = static_cast<double>(m.cache_misses);
@@ -165,7 +168,9 @@ inline void WriteBenchJson(const std::string& name,
                    JsonEscape(g.group).c_str(), JsonEscape(row.label).c_str());
       std::fprintf(f,
                    "\"throughput_qps\": %.6g, \"mean_response_ms\": %.6g, "
-                   "\"p95_response_ms\": %.6g, \"hit_rate\": %.6g, "
+                   "\"p50_response_ms\": %.6g, \"p95_response_ms\": %.6g, "
+                   "\"p99_response_ms\": %.6g, \"p999_response_ms\": %.6g, "
+                   "\"hit_rate\": %.6g, "
                    "\"cache_hits\": %llu, \"cache_misses\": %llu, "
                    "\"storage_batches\": %llu, \"steals\": %llu, "
                    "\"batches_inflight_peak\": %u, \"fetch_overlap_us\": %.6g, "
@@ -173,7 +178,8 @@ inline void WriteBenchJson(const std::string& name,
                    "\"repartition_stall_us\": %.6g, "
                    "\"adjacency_compression_ratio\": %.6g, \"cache_entries\": %llu, "
                    "\"decompress_us\": %.6g, \"bytes_from_storage\": %llu}",
-                   m.throughput_qps, m.mean_response_ms, m.p95_response_ms,
+                   m.throughput_qps, m.mean_response_ms, m.p50_response_ms,
+                   m.p95_response_ms, m.p99_response_ms, m.p999_response_ms,
                    m.CacheHitRate(), static_cast<unsigned long long>(m.cache_hits),
                    static_cast<unsigned long long>(m.cache_misses),
                    static_cast<unsigned long long>(m.storage_batches),

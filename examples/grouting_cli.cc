@@ -92,6 +92,11 @@ void PrintHelp() {
       "                           (default raw)\n"
       "  --cache-compressed       processor caches admit the compressed blob\n"
       "                           (decode on hit; needs delta_varint to pay off)\n"
+      "  --trace-out=<file>       export the query-lifecycle trace as Chrome-\n"
+      "                           trace JSON (open in Perfetto / chrome://tracing)\n"
+      "  --trace-sample-every-n=<int>  trace every Nth query (default 1 when\n"
+      "                           --trace-out is set, else 0 = tracing off)\n"
+      "  --trace-buffer-capacity=<int> events per trace ring (default 65536)\n"
       "  --seed=<int>\n");
 }
 
@@ -195,6 +200,15 @@ int main(int argc, char** argv) {
                                 ? AdjacencyEncoding::kDeltaVarint
                                 : AdjacencyEncoding::kRaw;
   opts.cache_compressed = flags.values.count("cache-compressed") > 0;
+  const std::string trace_out = flags.Get("trace-out", "");
+  opts.trace_sample_every_n = static_cast<uint32_t>(
+      flags.GetInt("trace-sample-every-n", trace_out.empty() ? 0 : 1));
+  opts.trace_buffer_capacity =
+      static_cast<uint32_t>(flags.GetInt("trace-buffer-capacity", 1 << 16));
+  if (!trace_out.empty() && opts.trace_sample_every_n == 0) {
+    std::fprintf(stderr, "--trace-out requires --trace-sample-every-n >= 1\n");
+    return 1;
+  }
 
   const Graph& g = env.graph();
   std::printf("dataset %s (scale %.2f): %zu nodes, %zu edges\n", dataset_name.c_str(),
@@ -203,14 +217,38 @@ int main(int argc, char** argv) {
               scheme_name.c_str(), opts.processors, opts.storage_servers,
               opts.cost.net.name.c_str(), EngineKindName(engine).c_str());
 
-  const ClusterMetrics m = env.Run(engine, opts);
+  // Assembled by hand (rather than env.Run) so the engine outlives the run:
+  // the trace export reads the recorder after the metrics come back.
+  const std::vector<Query> workload = env.HotspotWorkload(
+      opts.hotspot_radius, opts.hops, opts.num_hotspots, opts.queries_per_hotspot);
+  auto cluster = MakeClusterEngine(engine, env.graph(), env.MakeClusterConfig(opts),
+                                   env.MakeStrategy(opts));
+  const ClusterMetrics m = cluster->Run(workload);
+
+  if (!trace_out.empty()) {
+    TraceMetadata metadata;
+    metadata.emplace_back("dataset", dataset_name);
+    metadata.emplace_back("scheme", scheme_name);
+    metadata.emplace_back("scale", flags.Get("scale", "0.25"));
+    if (cluster->ExportTrace(trace_out, metadata)) {
+      std::printf("wrote trace: %s (%llu events, %llu dropped)\n", trace_out.c_str(),
+                  static_cast<unsigned long long>(m.trace_events_recorded),
+                  static_cast<unsigned long long>(m.trace_events_dropped));
+    } else {
+      std::fprintf(stderr, "trace export to %s failed\n", trace_out.c_str());
+      return 1;
+    }
+  }
 
   Table t({"metric", "value"});
   t.AddRow({"engine", EngineKindName(engine)});
   t.AddRow({"queries", Table::Int(static_cast<int64_t>(m.queries))});
   t.AddRow({"throughput", Table::Num(m.throughput_qps, 1) + " q/s"});
   t.AddRow({"mean response", Table::Num(m.mean_response_ms, 3) + " ms"});
+  t.AddRow({"p50 response", Table::Num(m.p50_response_ms, 3) + " ms"});
   t.AddRow({"p95 response", Table::Num(m.p95_response_ms, 3) + " ms"});
+  t.AddRow({"p99 response", Table::Num(m.p99_response_ms, 3) + " ms"});
+  t.AddRow({"p99.9 response", Table::Num(m.p999_response_ms, 3) + " ms"});
   t.AddRow({"mean queue wait", Table::Num(m.mean_queue_wait_ms, 3) + " ms"});
   t.AddRow({"cache hit rate", Table::Num(100.0 * m.CacheHitRate(), 1) + " %"});
   t.AddRow({"cache hits / misses", Table::Int(static_cast<int64_t>(m.cache_hits)) + " / " +
@@ -238,6 +276,14 @@ int main(int argc, char** argv) {
     t.AddRow({"inflight batch peak",
               Table::Int(static_cast<int64_t>(m.batches_inflight_peak))});
     t.AddRow({"fetch overlap", Table::Num(m.fetch_overlap_us / 1000.0, 3) + " ms"});
+  }
+  if (opts.trace_sample_every_n > 0) {
+    t.AddRow({"trace events", Table::Int(static_cast<int64_t>(m.trace_events_recorded)) +
+                                  " (" +
+                                  Table::Int(static_cast<int64_t>(m.trace_events_dropped)) +
+                                  " dropped)"});
+    t.AddRow({"trace ring high-water",
+              Table::Int(static_cast<int64_t>(m.trace_buffer_high_water))});
   }
   if (opts.router_shards > 1) {
     t.AddRow({"router shards", Table::Int(static_cast<int64_t>(opts.router_shards)) +

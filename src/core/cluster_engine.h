@@ -28,6 +28,8 @@
 
 #include "src/frontend/splitter.h"
 #include "src/net/cost_model.h"
+#include "src/obs/trace.h"
+#include "src/obs/trace_export.h"
 #include "src/proc/processor.h"
 #include "src/query/query.h"
 #include "src/routing/strategy.h"
@@ -116,6 +118,18 @@ struct ClusterConfig {
   // initial partition->server layout reproduces hash placement exactly.
   uint32_t partitions_per_server = 8;
 
+  // --- Observability (src/obs/) ---
+  // Per-query lifecycle tracing: record every Nth query's spans (arrival,
+  // routing, queue wait, levels, batches, stalls, decode) into per-track
+  // ring buffers. 0 disables tracing entirely — no recorder is built and a
+  // simulated run is metric-identical to one without the subsystem; 1
+  // traces every query. Virtual timestamps on the simulated engine, wall
+  // clock on the threaded one.
+  uint32_t trace_sample_every_n = 0;
+  // Capacity (events) of each per-processor / per-router-shard trace ring.
+  // A full ring drops new events and counts them (trace_events_dropped).
+  uint32_t trace_buffer_capacity = 1u << 16;
+
   // The storage-rebalancer policy the three knobs above lower to.
   // enabled() on the result is the single source of truth for whether
   // repartitioning runs — the engine and every display/consumer derive it
@@ -139,8 +153,18 @@ struct ClusterMetrics {
   // queries / makespan, in queries per second.
   double throughput_qps = 0.0;
   double mean_response_ms = 0.0;  // dispatch -> completion (paper's metric)
+  // Response-time percentiles over the per-query dispatch -> completion
+  // time, read from the log-bucketed LatencyHistogram (within one bucket
+  // width, ~3%, of the exact sorted-sample percentile). The tail pair
+  // (p99/p999) is what run-level means cannot show and what the CI
+  // regression gate additionally watches.
+  double p50_response_ms = 0.0;
   // 95th percentile of the per-query dispatch -> completion time.
   double p95_response_ms = 0.0;
+  // 99th percentile of the per-query dispatch -> completion time.
+  double p99_response_ms = 0.0;
+  // 99.9th percentile of the per-query dispatch -> completion time.
+  double p999_response_ms = 0.0;
   double mean_queue_wait_ms = 0.0;  // routed -> dispatched
   // Processor-cache probe outcomes summed over all processors.
   uint64_t cache_hits = 0;
@@ -196,6 +220,14 @@ struct ClusterMetrics {
   // virtual charge on the simulated engine (hits + fetched installs), wall
   // decode time on the threaded one (µs). 0 in raw/uncompressed mode.
   double decompress_us = 0.0;
+  // Query-lifecycle tracing (trace_sample_every_n > 0): events stored
+  // across all trace rings over the run (0 when tracing is off).
+  uint64_t trace_events_recorded = 0;
+  // Events lost to full trace rings — nonzero means the exported trace is
+  // clipped and trace_buffer_capacity should be raised (never silent).
+  uint64_t trace_events_dropped = 0;
+  // Peak events resident in any single trace ring (capacity head-room).
+  uint64_t trace_buffer_high_water = 0;
 
   double CacheHitRate() const {
     const uint64_t total = cache_hits + cache_misses;
@@ -232,6 +264,16 @@ class ClusterEngine {
   StorageTier& storage() { return *storage_; }
   QueryProcessor& processor(uint32_t p) { return *processors_[p]; }
 
+  // The query-lifecycle trace recorder; nullptr when tracing is disabled
+  // (config.trace_sample_every_n == 0). Read the events only after Run().
+  TraceRecorder* tracer() { return tracer_.get(); }
+  const TraceRecorder* tracer() const { return tracer_.get(); }
+
+  // Exports the recorded trace as Chrome-trace/Perfetto JSON
+  // (src/obs/trace_export.h), appending engine/sampling entries to
+  // `metadata`. Returns false when tracing was off or the write failed.
+  bool ExportTrace(const std::string& path, TraceMetadata metadata = {}) const;
+
  protected:
   // Shared cluster assembly: validates the config, loads the graph into a
   // fresh storage tier (hash placement unless `placement` is given; the
@@ -248,9 +290,14 @@ class ClusterEngine {
   // repartition counters accumulated by RepartitionRound.
   void AddStorageTierStats(ClusterMetrics* m) const;
 
-  // Derives mean/p95 response and mean queue wait (ms) from µs samples.
-  static void FillLatencyStats(ClusterMetrics* m, std::vector<double> response_us,
+  // Derives the mean and the p50/p95/p99/p999 response percentiles (ms)
+  // from the histogram — one pass for every quantile, O(1) memory — plus
+  // the mean queue wait.
+  static void FillLatencyStats(ClusterMetrics* m, const LatencyHistogram& response_us,
                                const RunningStat& queue_wait_us);
+
+  // Trace-subsystem counters (recorded/dropped/high-water) into `m`.
+  void AddTraceStats(ClusterMetrics* m) const;
 
   // Whether the config enables storage-tier repartitioning rounds.
   bool repartition_enabled() const { return repartition_config_.enabled(); }
@@ -268,6 +315,9 @@ class ClusterEngine {
   std::unique_ptr<StorageTier> storage_;
   std::vector<std::unique_ptr<QueryProcessor>> processors_;
   std::vector<AnsweredQuery> answers_;
+  // Built in the base ctor when config.trace_sample_every_n > 0; engines
+  // record lifecycle spans into its per-track rings.
+  std::unique_ptr<TraceRecorder> tracer_;
   // Lowered from config_: the storage rebalancer's controller policy.
   RepartitionConfig repartition_config_;
   // Partitions moved so far (written only by RepartitionRound's caller).

@@ -132,6 +132,8 @@ ClusterConfig ExperimentEnv::MakeClusterConfig(const RunOptions& options) {
   config.repartition_threshold = options.repartition_threshold;
   config.repartition_cap = options.repartition_cap;
   config.partitions_per_server = options.partitions_per_server;
+  config.trace_sample_every_n = options.trace_sample_every_n;
+  config.trace_buffer_capacity = options.trace_buffer_capacity;
   config.arrival_gap_us = options.arrival_gap_us;
   return config;
 }

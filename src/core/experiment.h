@@ -76,6 +76,11 @@ struct RunOptions {
   double repartition_threshold = 0.0;
   uint32_t repartition_cap = 4;
   uint32_t partitions_per_server = 8;
+  // Query-lifecycle tracing (src/obs/): record every Nth query's spans into
+  // the engine's trace rings; 0 disables tracing, 1 traces every query.
+  uint32_t trace_sample_every_n = 0;
+  // Capacity (events) of each per-processor / per-router-shard trace ring.
+  uint32_t trace_buffer_capacity = 1u << 16;
   // Simulated engine: inter-arrival gap (µs). The paper's workload is
   // back-to-back (0); a positive gap interleaves arrivals with execution
   // and gossip rounds, which is what makes inter-shard gossip observable

@@ -1,0 +1,79 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace grouting {
+
+const char* TraceEventTypeName(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kArrival:
+      return "arrival";
+    case TraceEventType::kRouted:
+      return "routed";
+    case TraceEventType::kQueueWait:
+      return "queue_wait";
+    case TraceEventType::kShip:
+      return "ship";
+    case TraceEventType::kQuery:
+      return "query";
+    case TraceEventType::kLevel:
+      return "level";
+    case TraceEventType::kBatch:
+      return "batch";
+    case TraceEventType::kStall:
+      return "stall";
+    case TraceEventType::kDecode:
+      return "decode";
+    case TraceEventType::kCompute:
+      return "compute";
+  }
+  return "unknown";
+}
+
+TraceRing::TraceRing(uint32_t capacity) : slots_(capacity == 0 ? 1 : capacity) {}
+
+TraceRecorder::TraceRecorder(uint32_t sample_every_n, uint32_t ring_capacity,
+                             uint32_t num_processors, uint32_t num_shards)
+    : sample_every_n_(sample_every_n),
+      num_processors_(num_processors),
+      num_shards_(num_shards) {
+  GROUTING_CHECK_MSG(sample_every_n_ > 0,
+                     "TraceRecorder requires trace_sample_every_n >= 1");
+  rings_.reserve(num_processors_ + num_shards_);
+  for (uint32_t t = 0; t < num_processors_ + num_shards_; ++t) {
+    rings_.push_back(std::make_unique<TraceRing>(ring_capacity));
+  }
+}
+
+TraceCounters TraceRecorder::counters() const {
+  TraceCounters c;
+  for (const auto& ring : rings_) {
+    const uint64_t n = ring->recorded();
+    c.recorded += n;
+    c.dropped += ring->dropped();
+    c.high_water = std::max(c.high_water, n);
+  }
+  return c;
+}
+
+std::vector<TraceEvent> TraceRecorder::MergedEvents() const {
+  std::vector<TraceEvent> events;
+  uint64_t total = 0;
+  for (const auto& ring : rings_) {
+    total += ring->recorded();
+  }
+  events.reserve(total);
+  for (const auto& ring : rings_) {
+    const uint64_t n = ring->recorded();
+    events.insert(events.end(), ring->data(), ring->data() + n);
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return events;
+}
+
+}  // namespace grouting

@@ -1,0 +1,204 @@
+// Query-lifecycle tracing: the observability layer both execution engines
+// feed (docs/OBSERVABILITY.md).
+//
+// One TraceEvent schema covers the whole lifecycle of a query —
+//
+//   arrival -> splitter assignment -> routing decision -> queue wait ->
+//   dispatch (ship) -> per-level multiget batch issue/complete ->
+//   decompress -> hit/miss compute -> completion
+//
+// — on either engine: the simulator stamps spans with virtual time during
+// replay, the threaded runtime with steady_clock (µs since the run's
+// epoch). Events land in per-track ring buffers (one per processor plus
+// one per router shard), each written by exactly one thread, so recording
+// is lock-free: a relaxed bump of the single-producer cursor, no CAS, no
+// mutex. Buffers are drained only after the run (post-join); when a buffer
+// fills, new events are dropped and COUNTED (ClusterMetrics::
+// trace_events_dropped) — sampling loss is visible, never silent.
+//
+// Tracing is opt-in per run: ClusterConfig::trace_sample_every_n == 0
+// builds no recorder at all (the hot paths test one null pointer), and a
+// positive N records every Nth query by id. A simulated run with tracing
+// on is metric-identical to one with tracing off — recording is purely
+// passive, it never schedules events or charges time.
+
+#ifndef GROUTING_SRC_OBS_TRACE_H_
+#define GROUTING_SRC_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace grouting {
+
+// One lifecycle phase. Spans carry a duration; instants a zero duration.
+enum class TraceEventType : uint8_t {
+  kArrival,    // instant: query entered the frontend (value = router shard)
+  kRouted,     // instant: routing decision made (value = target processor)
+  kQueueWait,  // span: routed/arrived -> dispatched to a processor
+  kShip,       // span: routing decision cost + query shipping to the processor
+  kQuery,      // span: dispatch -> completion (the paper's response time)
+  kLevel,      // span: one traversal level (probe + fetch + compute)
+  kBatch,      // span: one multiget batch, issue -> reply landed
+  kStall,      // span: processor CPU idle, waiting on storage replies
+  kDecode,     // span: decoding compressed adjacency blobs
+  kCompute,    // span: probe/merge/insert/aggregate CPU work
+};
+
+const char* TraceEventTypeName(TraceEventType type);
+
+struct TraceEvent {
+  double ts_us = 0.0;   // span start (virtual µs on sim, wall µs since epoch)
+  double dur_us = 0.0;  // span duration; 0 for instants
+  uint64_t query_id = 0;
+  uint64_t value = 0;  // type-specific payload (shard, processor, batch values)
+  uint32_t track = 0;  // owning track (see TraceRecorder's track layout)
+  uint32_t server = 0;  // storage server (kBatch), else 0
+  uint32_t level = 0;   // traversal level (kLevel/kBatch/kStall/kDecode)
+  TraceEventType type = TraceEventType::kArrival;
+};
+
+// Bounded single-producer event log ("ring"): exactly one thread records
+// into a given ring; readers only look after that thread quiesced (the sim's
+// event loop returned / the threaded engine joined). Full ring = drop-newest
+// (a truncated-at-the-end trace stays well formed; overwriting the oldest
+// would orphan completion spans from their dispatches).
+class TraceRing {
+ public:
+  explicit TraceRing(uint32_t capacity);
+
+  // Lock-free, wait-free; drops (and counts) when the ring is full.
+  void Record(const TraceEvent& e) {
+    const uint64_t n = size_.load(std::memory_order_relaxed);
+    if (n >= slots_.size()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    slots_[n] = e;
+    size_.store(n + 1, std::memory_order_release);
+  }
+
+  // Post-run accessors (not safe concurrently with Record).
+  uint64_t recorded() const { return size_.load(std::memory_order_acquire); }
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  const TraceEvent* data() const { return slots_.data(); }
+
+ private:
+  std::vector<TraceEvent> slots_;
+  std::atomic<uint64_t> size_{0};
+  std::atomic<uint64_t> dropped_{0};
+};
+
+// Aggregate recording counters, surfaced as ClusterMetrics fields so a
+// clipped trace is always detectable from the metrics alone.
+struct TraceCounters {
+  uint64_t recorded = 0;    // events stored across all rings
+  uint64_t dropped = 0;     // events lost to full rings
+  uint64_t high_water = 0;  // max events resident in any single ring
+};
+
+// The engine-owned trace sink: one ring per track. Track layout is
+// [0, num_processors) for processor timelines and [num_processors,
+// num_processors + num_shards) for router-shard timelines.
+class TraceRecorder {
+ public:
+  TraceRecorder(uint32_t sample_every_n, uint32_t ring_capacity,
+                uint32_t num_processors, uint32_t num_shards);
+
+  // Deterministic sampling: query ids are workload-assigned, so both
+  // engines (and repeat runs) sample the SAME queries.
+  bool Sample(uint64_t query_id) const { return query_id % sample_every_n_ == 0; }
+  uint32_t sample_every_n() const { return sample_every_n_; }
+
+  uint32_t num_processors() const { return num_processors_; }
+  uint32_t num_shards() const { return num_shards_; }
+  TraceRing& processor_ring(uint32_t p) { return *rings_[p]; }
+  TraceRing& shard_ring(uint32_t s) { return *rings_[num_processors_ + s]; }
+
+  TraceCounters counters() const;
+
+  // All recorded events, merged across rings and sorted by start time.
+  // Post-run only.
+  std::vector<TraceEvent> MergedEvents() const;
+
+ private:
+  uint32_t sample_every_n_;
+  uint32_t num_processors_;
+  uint32_t num_shards_;
+  std::vector<std::unique_ptr<TraceRing>> rings_;
+};
+
+// Wall-clock span recording for ONE track, used by exactly one thread of
+// the threaded runtime (a processor thread, including the storage-source
+// code it runs, or a router-shard thread). Wraps the track's ring with the
+// run epoch and the per-query sampling state, so instrumentation sites
+// reduce to `if (tracer && tracer->active()) { ... }`.
+class WallTracer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  WallTracer(TraceRing* ring, uint32_t track, uint32_t sample_every_n,
+             Clock::time_point epoch)
+      : ring_(ring), track_(track), sample_every_n_(sample_every_n), epoch_(epoch) {}
+
+  double NowUs() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - epoch_).count();
+  }
+  double AtUs(Clock::time_point t) const {
+    return std::chrono::duration<double, std::micro>(t - epoch_).count();
+  }
+
+  bool Sample(uint64_t query_id) const { return query_id % sample_every_n_ == 0; }
+
+  // Per-query scope (processor tracks): spans recorded between BeginQuery
+  // and EndQuery carry the active query id.
+  bool BeginQuery(uint64_t query_id) {
+    active_ = Sample(query_id);
+    query_id_ = query_id;
+    return active_;
+  }
+  void EndQuery() { active_ = false; }
+  bool active() const { return active_; }
+  uint64_t query_id() const { return query_id_; }
+
+  void Span(TraceEventType type, double start_us, double end_us, uint32_t level = 0,
+            uint32_t server = 0, uint64_t value = 0) {
+    TraceEvent e;
+    e.ts_us = start_us;
+    e.dur_us = end_us > start_us ? end_us - start_us : 0.0;
+    e.query_id = query_id_;
+    e.value = value;
+    e.track = track_;
+    e.server = server;
+    e.level = level;
+    e.type = type;
+    ring_->Record(e);
+  }
+
+  // Instant events (router-shard tracks) carry an explicit query id: shard
+  // threads have no Begin/End scope.
+  void Instant(TraceEventType type, double ts_us, uint64_t query_id, uint64_t value) {
+    TraceEvent e;
+    e.ts_us = ts_us;
+    e.query_id = query_id;
+    e.value = value;
+    e.track = track_;
+    e.type = type;
+    ring_->Record(e);
+  }
+
+ private:
+  TraceRing* ring_;
+  uint32_t track_;
+  uint32_t sample_every_n_;
+  Clock::time_point epoch_;
+  bool active_ = false;
+  uint64_t query_id_ = 0;
+};
+
+}  // namespace grouting
+
+#endif  // GROUTING_SRC_OBS_TRACE_H_

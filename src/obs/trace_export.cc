@@ -1,0 +1,104 @@
+#include "src/obs/trace_export.h"
+
+#include <cstdio>
+
+namespace grouting {
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool WriteChromeTrace(const std::string& path, std::span<const TraceEvent> events,
+                      uint32_t num_processors, uint32_t num_shards,
+                      const TraceMetadata& metadata) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "WriteChromeTrace: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"displayTimeUnit\": \"ms\",\n  \"metadata\": {");
+  bool first = true;
+  for (const auto& [key, value] : metadata) {
+    std::fprintf(f, "%s\n    \"%s\": \"%s\"", first ? "" : ",",
+                 JsonEscape(key).c_str(), JsonEscape(value).c_str());
+    first = false;
+  }
+  std::fprintf(f, "\n  },\n  \"traceEvents\": [");
+
+  // Track naming: one fake process, one named thread per track. The sort
+  // index keeps processors above router shards in the Perfetto timeline.
+  first = true;
+  for (uint32_t t = 0; t < num_processors + num_shards; ++t) {
+    char name[48];
+    if (t < num_processors) {
+      std::snprintf(name, sizeof(name), "processor %u", t);
+    } else {
+      std::snprintf(name, sizeof(name), "router shard %u", t - num_processors);
+    }
+    std::fprintf(f,
+                 "%s\n    {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+                 "\"tid\": %u, \"args\": {\"name\": \"%s\"}}",
+                 first ? "" : ",", t, name);
+    std::fprintf(f,
+                 ",\n    {\"name\": \"thread_sort_index\", \"ph\": \"M\", \"pid\": 1, "
+                 "\"tid\": %u, \"args\": {\"sort_index\": %u}}",
+                 t, t);
+    first = false;
+  }
+
+  for (const TraceEvent& e : events) {
+    const bool span = e.dur_us > 0.0 || e.type == TraceEventType::kQueueWait ||
+                      e.type == TraceEventType::kShip ||
+                      e.type == TraceEventType::kQuery ||
+                      e.type == TraceEventType::kLevel ||
+                      e.type == TraceEventType::kBatch ||
+                      e.type == TraceEventType::kStall ||
+                      e.type == TraceEventType::kDecode ||
+                      e.type == TraceEventType::kCompute;
+    std::fprintf(f, "%s\n    {\"name\": \"%s\", \"ph\": \"%s\", \"ts\": %.3f, ",
+                 first ? "" : ",", TraceEventTypeName(e.type), span ? "X" : "i",
+                 e.ts_us);
+    if (span) {
+      std::fprintf(f, "\"dur\": %.3f, ", e.dur_us);
+    } else {
+      std::fprintf(f, "\"s\": \"t\", ");
+    }
+    std::fprintf(f,
+                 "\"pid\": 1, \"tid\": %u, \"args\": {\"query_id\": %llu, "
+                 "\"level\": %u, \"server\": %u, \"value\": %llu}}",
+                 e.track, static_cast<unsigned long long>(e.query_id), e.level,
+                 e.server, static_cast<unsigned long long>(e.value));
+    first = false;
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace grouting

@@ -1,0 +1,42 @@
+// Chrome-trace / Perfetto JSON export of a recorded query trace.
+//
+// The output is the Trace Event Format's JSON object form:
+//
+//   { "displayTimeUnit": "ms",
+//     "metadata": { "engine": "...", "scheme": "...", ... },
+//     "traceEvents": [ thread_name metadata, then one "X" (complete) event
+//                      per span and one "i" (instant) event per instant ] }
+//
+// Timestamps are microseconds (virtual µs from the simulator, wall µs since
+// the run epoch from the threaded runtime), which is exactly the unit the
+// format expects. Load the file in ui.perfetto.dev or chrome://tracing;
+// tools/analyze_trace.py consumes the same file for the latency-attribution
+// breakdown (and schema validation with --validate).
+
+#ifndef GROUTING_SRC_OBS_TRACE_EXPORT_H_
+#define GROUTING_SRC_OBS_TRACE_EXPORT_H_
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/trace.h"
+
+namespace grouting {
+
+// Free-form run description carried in the file's "metadata" object (scheme,
+// engine, dataset, sampling) — what the analyzer keys its per-run rows on.
+using TraceMetadata = std::vector<std::pair<std::string, std::string>>;
+
+// Writes `events` (any order; typically TraceRecorder::MergedEvents) as a
+// Chrome-trace JSON file. Tracks [0, num_processors) become "processor P"
+// threads, [num_processors, ...) become "router shard S" threads. Returns
+// false when the file cannot be opened.
+bool WriteChromeTrace(const std::string& path, std::span<const TraceEvent> events,
+                      uint32_t num_processors, uint32_t num_shards,
+                      const TraceMetadata& metadata);
+
+}  // namespace grouting
+
+#endif  // GROUTING_SRC_OBS_TRACE_EXPORT_H_

@@ -57,12 +57,26 @@ void CachedStorageSource::CompleteOldest(std::vector<Inflight>* inflight,
   Inflight batch = std::move(inflight->front());
   inflight->erase(inflight->begin());
 
+  const bool traced = tracer_ != nullptr && tracer_->active();
   const std::vector<AdjacencyPtr>* values = nullptr;
   if (executor_ != nullptr) {
     const auto wait_start = std::chrono::steady_clock::now();
     values = &batch.handle->Wait();
-    *blocked_us += ElapsedUs(wait_start, std::chrono::steady_clock::now());
+    const auto wait_end = std::chrono::steady_clock::now();
+    *blocked_us += ElapsedUs(wait_start, wait_end);
+    if (traced) {
+      // The batch span covers submit -> reply landed; the stall span only
+      // the part where this thread actually sat in Wait().
+      tracer_->Span(TraceEventType::kBatch, batch.issue_ts_us,
+                    tracer_->AtUs(wait_end), trace_.levels,
+                    batch.handle->server_id(), batch.handle->keys().size());
+      tracer_->Span(TraceEventType::kStall, tracer_->AtUs(wait_start),
+                    tracer_->AtUs(wait_end), trace_.levels,
+                    batch.handle->server_id());
+    }
   } else {
+    // Inline execution: the batch was serviced synchronously at issue time
+    // and its batch/stall spans were recorded there (see FetchBatch).
     values = &batch.handle->Wait();
   }
 
@@ -118,6 +132,8 @@ std::vector<AdjacencyPtr> CachedStorageSource::FetchBatch(std::span<const NodeId
   std::vector<AdjacencyPtr> result(nodes.size());
   trace_.level_stats.emplace_back();
   FetchTrace::Level& level = trace_.level_stats.back();
+  const bool traced = tracer_ != nullptr && tracer_->active();
+  const double level_start_us = traced ? tracer_->NowUs() : 0.0;
 
   // Probe phase: serve from cache. Functionally this runs before the issue
   // phase for EVERY window (cache state stays window-invariant); it stands
@@ -142,8 +158,12 @@ std::vector<AdjacencyPtr> CachedStorageSource::FetchBatch(std::span<const NodeId
           // it; the sim charges its virtual equivalent during replay.
           const auto decode_start = std::chrono::steady_clock::now();
           entry = DecodeAdjacency(*hit->encoded);
-          trace_.decompress_us +=
-              ElapsedUs(decode_start, std::chrono::steady_clock::now());
+          const auto decode_end = std::chrono::steady_clock::now();
+          trace_.decompress_us += ElapsedUs(decode_start, decode_end);
+          if (tracer_ != nullptr && tracer_->active()) {
+            tracer_->Span(TraceEventType::kDecode, tracer_->AtUs(decode_start),
+                          tracer_->AtUs(decode_end), trace_.levels);
+          }
           GROUTING_CHECK(entry != nullptr);
         } else {
           entry = hit->decoded;
@@ -198,9 +218,24 @@ std::vector<AdjacencyPtr> CachedStorageSource::FetchBatch(std::span<const NodeId
       if (inflight.size() >= window_) {
         CompleteOldest(&inflight, nodes, &result, &level, &blocked_us);
       }
+      const size_t batch_keys = keys.size();
       batch.handle = storage_->StartMultiGet(server, std::move(keys));
       if (executor_ != nullptr) {
+        if (traced) {
+          batch.issue_ts_us = tracer_->NowUs();
+        }
         executor_->Submit(batch.handle);
+      } else if (traced) {
+        // Synchronous service on this thread: the whole multiget IS the
+        // stall — batch and stall spans coincide.
+        const double exec_start = tracer_->NowUs();
+        batch.handle->Execute();
+        const double exec_end = tracer_->NowUs();
+        batch.issue_ts_us = exec_start;
+        tracer_->Span(TraceEventType::kBatch, exec_start, exec_end, trace_.levels,
+                      server, batch_keys);
+        tracer_->Span(TraceEventType::kStall, exec_start, exec_end, trace_.levels,
+                      server);
       } else {
         batch.handle->Execute();
       }
@@ -216,6 +251,10 @@ std::vector<AdjacencyPtr> CachedStorageSource::FetchBatch(std::span<const NodeId
       trace_.async_overlap_us += std::max(0.0, span_us - blocked_us);
       trace_.max_batches_inflight = std::max(trace_.max_batches_inflight, peak);
     }
+  }
+  if (traced) {
+    tracer_->Span(TraceEventType::kLevel, level_start_us, tracer_->NowUs(),
+                  trace_.levels, 0, nodes.size());
   }
   ++trace_.levels;
   return result;

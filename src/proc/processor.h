@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/cache/cache.h"
+#include "src/obs/trace.h"
 #include "src/query/query.h"
 #include "src/storage/storage_tier.h"
 
@@ -87,11 +88,17 @@ class CachedStorageSource : public NodeDataSource {
   void set_fetch_executor(BatchFetchExecutor* executor) { executor_ = executor; }
   uint32_t window() const { return window_; }
 
+  // Wall-clock tracer for the owning processor thread (threaded runtime
+  // only; the sim stamps virtual time itself during replay). nullptr (the
+  // default) records nothing.
+  void set_tracer(WallTracer* tracer) { tracer_ = tracer; }
+
  private:
   // One outstanding multiget batch plus what is needed to install it.
   struct Inflight {
     std::shared_ptr<MultiGetHandle> handle;
     std::vector<size_t> positions;  // result slots, parallel to handle keys
+    double issue_ts_us = 0.0;       // tracer timestamp at issue (if tracing)
   };
 
   // Waits for the oldest in-flight batch and merges its values into
@@ -105,6 +112,7 @@ class CachedStorageSource : public NodeDataSource {
   uint32_t window_;
   bool cache_compressed_;
   BatchFetchExecutor* executor_ = nullptr;
+  WallTracer* tracer_ = nullptr;
   FetchTrace trace_;
 };
 
@@ -141,6 +149,9 @@ class QueryProcessor {
   void set_fetch_executor(BatchFetchExecutor* executor) {
     source_->set_fetch_executor(executor);
   }
+  // Wall-clock tracer for the thread running this processor (threaded
+  // runtime only); forwarded to the storage source for batch/decode spans.
+  void set_tracer(WallTracer* tracer) { source_->set_tracer(tracer); }
   bool cache_enabled() const { return cache_ != nullptr; }
   NodeCache<CachedAdjacency>* cache() { return cache_.get(); }
   const NodeCache<CachedAdjacency>* cache() const { return cache_.get(); }

@@ -182,10 +182,15 @@ void ThreadedCluster::FeederLoop(std::span<const Query> queries) {
 
 void ThreadedCluster::RouterShardLoop(uint32_t shard, std::span<const Query> slice) {
   RouterShard& rs = *shards_[shard];
+  WallTracer* tracer = shard_tracers_.empty() ? nullptr : &shard_tracers_[shard];
   std::vector<uint32_t> lengths(config_.num_processors, 0);
   RouterContext ctx;
   ctx.num_processors = config_.num_processors;
   const auto route_one = [&](const Query& q) {
+    const bool traced = tracer != nullptr && tracer->Sample(q.id);
+    if (traced) {
+      tracer->Instant(TraceEventType::kArrival, tracer->NowUs(), q.id, shard);
+    }
     // Live channel lengths are the shared load signal: unlike the simulated
     // shards (which see only their own queues between gossip rounds), real
     // shards share the processor channels and read their depth directly.
@@ -200,6 +205,9 @@ void ThreadedCluster::RouterShardLoop(uint32_t shard, std::span<const Query> sli
     }
     GROUTING_CHECK(target < config_.num_processors);
     rs.routed.fetch_add(1, std::memory_order_relaxed);
+    if (traced) {
+      tracer->Instant(TraceEventType::kRouted, tracer->NowUs(), q.id, target);
+    }
     channels_[target]->Push(Routed{q, Clock::now(), shard, target});
   };
   if (use_feeder_) {
@@ -350,6 +358,7 @@ void ThreadedCluster::FetchLoop(uint32_t p) {
 
 void ThreadedCluster::ProcessorLoop(uint32_t p) {
   LatencySamples& samples = samples_[p];
+  WallTracer* tracer = proc_tracers_.empty() ? nullptr : &proc_tracers_[p];
   while (!shutdown_.load(std::memory_order_acquire) &&
          remaining_.load(std::memory_order_acquire) > 0) {
     Routed routed;
@@ -362,6 +371,10 @@ void ThreadedCluster::ProcessorLoop(uint32_t p) {
     }
     const auto dispatched = Clock::now();
     samples.queue_wait_us.Add(ElapsedUs(routed.routed_at, dispatched));
+    if (tracer != nullptr && tracer->BeginQuery(routed.query.id)) {
+      tracer->Span(TraceEventType::kQueueWait, tracer->AtUs(routed.routed_at),
+                   tracer->AtUs(dispatched), 0, 0, routed.shard);
+    }
     {
       // Dispatch feedback to the shard that routed this query: on a steal
       // (p != routed.target) the strategy learns the thief's cache is the
@@ -384,12 +397,25 @@ void ThreadedCluster::ProcessorLoop(uint32_t p) {
       for (const auto& b : batches) {
         wire_bytes += b.bytes;
       }
+      const auto wait_start = Clock::now();
       BusyWaitUs(2.0 * config_.injected_network_us *
                      static_cast<double>(batches.size()) +
                  config_.cost.net.per_kb_us *
                      static_cast<double>(wire_bytes) / 1024.0);
+      if (tracer != nullptr && tracer->active()) {
+        // The post-hoc injected round trips are network exposure, not CPU.
+        tracer->Span(TraceEventType::kStall, tracer->AtUs(wait_start),
+                     tracer->NowUs(), 0, 0, batches.size());
+      }
     }
-    samples.response_us.push_back(ElapsedUs(dispatched, Clock::now()));
+    const auto completed = Clock::now();
+    samples.response_us.Add(ElapsedUs(dispatched, completed));
+    if (tracer != nullptr && tracer->active()) {
+      tracer->Span(TraceEventType::kQuery, tracer->AtUs(dispatched),
+                   tracer->AtUs(completed), 0, 0,
+                   processors_[p]->last_trace().level_stats.size());
+      tracer->EndQuery();
+    }
     completions_.Push(AnsweredQuery{routed.query.id, p, result});
     remaining_.fetch_sub(1, std::memory_order_acq_rel);
   }
@@ -425,6 +451,23 @@ ClusterMetrics ThreadedCluster::Run(std::span<const Query> queries) {
       router_gossip_ || (repartition_enabled() && config_.gossip_period_us > 0.0);
 
   const auto start = Clock::now();
+  if (tracer_ != nullptr) {
+    // One tracer per thread-owned ring, all sharing the run epoch. Built
+    // before ANY worker spawns so the vectors never reallocate while a
+    // thread holds a pointer into them.
+    proc_tracers_.reserve(config_.num_processors);
+    shard_tracers_.reserve(num_shards);
+    for (uint32_t p = 0; p < config_.num_processors; ++p) {
+      proc_tracers_.emplace_back(&tracer_->processor_ring(p), p,
+                                 tracer_->sample_every_n(), start);
+      processors_[p]->set_tracer(&proc_tracers_[p]);
+    }
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      shard_tracers_.emplace_back(&tracer_->shard_ring(s),
+                                  tracer_->num_processors() + s,
+                                  tracer_->sample_every_n(), start);
+    }
+  }
   if (async_fetch_) {
     // Fetch threads first, and only then the executor seam: a processor
     // must never submit a handle nobody will service.
@@ -489,17 +532,17 @@ ClusterMetrics ThreadedCluster::Run(std::span<const Query> queries) {
   m.makespan_us = ElapsedUs(start, end);
   m.throughput_qps =
       m.makespan_us > 0.0 ? static_cast<double>(m.queries) / (m.makespan_us / 1e6) : 0.0;
-  std::vector<double> response_us;
+  LatencyHistogram response_us;
   RunningStat queue_wait_us;
   m.queries_per_processor.assign(config_.num_processors, 0);
   for (uint32_t p = 0; p < config_.num_processors; ++p) {
-    response_us.insert(response_us.end(), samples_[p].response_us.begin(),
-                       samples_[p].response_us.end());
+    response_us.Merge(samples_[p].response_us);
     queue_wait_us.Merge(samples_[p].queue_wait_us);
     m.queries_per_processor[p] = processors_[p]->stats().queries_executed;
   }
-  FillLatencyStats(&m, std::move(response_us), queue_wait_us);
+  FillLatencyStats(&m, response_us, queue_wait_us);
   AddProcessorStats(&m);
+  AddTraceStats(&m);
   m.steals = steals_.load(std::memory_order_relaxed);
   m.queries_per_router_shard.assign(num_shards, 0);
   std::vector<const RoutingStrategy*> views;

@@ -87,10 +87,11 @@ class ThreadedCluster : public ClusterEngine {
   };
 
   // Per-processor latency samples (µs), written only by the owning thread
-  // and read after all threads joined. Response times keep raw samples for
-  // the percentile; queue waits only feed a mean, so a RunningStat suffices.
+  // and read after all threads joined. Response times feed a log-bucketed
+  // histogram (O(1) memory, mergeable across processors); queue waits only
+  // feed a mean, so a RunningStat suffices.
   struct LatencySamples {
-    std::vector<double> response_us;
+    LatencyHistogram response_us;
     RunningStat queue_wait_us;
   };
 
@@ -141,6 +142,13 @@ class ThreadedCluster : public ClusterEngine {
   std::thread feeder_thread_;
   std::atomic<bool> arrivals_done_{false};
   std::atomic<uint64_t> sessions_migrated_{0};
+
+  // Wall-clock tracers, one per processor thread and one per router-shard
+  // thread (each written only by its owning thread into its own ring).
+  // Constructed in Run() — all sharing the run's epoch — before any thread
+  // spawns; empty when tracing is off.
+  std::vector<WallTracer> proc_tracers_;
+  std::vector<WallTracer> shard_tracers_;
 
   // Async fetch pipeline (config.processor.max_inflight_batches > 1): a
   // per-processor request queue + fetch thread pair; executors are installed

@@ -41,7 +41,22 @@ ClusterMetrics DecoupledClusterSim::Run(std::span<const Query> queries) {
     const SimTimeUs t = config_.arrival_gap_us * static_cast<double>(i);
     events_.ScheduleAt(t, [this, q, &arrival_time] {
       arrival_time[q.id] = events_.now();
-      const uint32_t preferred = fleet_->Enqueue(q).processor;
+      const RouterFleet::RoutedArrival routed = fleet_->Enqueue(q);
+      if (tracer_ != nullptr && tracer_->Sample(q.id)) {
+        // The sim routes on arrival, so arrival and routing-decision
+        // instants share a timestamp on the shard's track.
+        TraceEvent e;
+        e.ts_us = events_.now();
+        e.query_id = q.id;
+        e.track = tracer_->num_processors() + routed.shard;
+        e.type = TraceEventType::kArrival;
+        e.value = routed.shard;
+        tracer_->shard_ring(routed.shard).Record(e);
+        e.type = TraceEventType::kRouted;
+        e.value = routed.processor;
+        tracer_->shard_ring(routed.shard).Record(e);
+      }
+      const uint32_t preferred = routed.processor;
       if (processor_idle_[preferred]) {
         TryDispatch(preferred);
         return;
@@ -58,10 +73,11 @@ ClusterMetrics DecoupledClusterSim::Run(std::span<const Query> queries) {
 
   // Track arrival->dispatch wait through a small shim in TryDispatch: we
   // capture it via the arrival_time map when the query is dispatched.
-  dispatch_wait_hook_ = [&arrival_time, this](const Query& q) {
+  dispatch_wait_hook_ = [&arrival_time, this](const Query& q, uint32_t p) {
     auto it = arrival_time.find(q.id);
     if (it != arrival_time.end()) {
       queue_wait_us_.Add(events_.now() - it->second);
+      EmitSpan(p, TraceEventType::kQueueWait, it->second, events_.now());
     }
   };
 
@@ -83,8 +99,9 @@ ClusterMetrics DecoupledClusterSim::Run(std::span<const Query> queries) {
   m.makespan_us = last_ack_us_;
   m.throughput_qps =
       m.makespan_us > 0.0 ? static_cast<double>(m.queries) / (m.makespan_us / 1e6) : 0.0;
-  FillLatencyStats(&m, std::move(response_samples_us_), queue_wait_us_);
+  FillLatencyStats(&m, response_us_, queue_wait_us_);
   AddProcessorStats(&m);
+  AddTraceStats(&m);
   const RouterStats router_stats = fleet_->AggregateRouterStats();
   m.steals = router_stats.steals;
   m.queries_per_processor = router_stats.per_processor;
@@ -146,14 +163,15 @@ void DecoupledClusterSim::TryDispatch(uint32_t p) {
     return;
   }
   processor_idle_[p] = 0;
-  if (dispatch_wait_hook_) {
-    dispatch_wait_hook_(*next);
-  }
 
   InFlight& f = in_flight_[p];
   f = InFlight{};
   f.query = *next;
   f.dispatch_time = events_.now();
+  f.traced = tracer_ != nullptr && tracer_->Sample(f.query.id);
+  if (dispatch_wait_hook_) {
+    dispatch_wait_hook_(f.query, p);
+  }
 
   // Functional execution happens now: per-processor queries are sequential,
   // so executing at dispatch keeps every cache byte-accurate.
@@ -165,7 +183,27 @@ void DecoupledClusterSim::TryDispatch(uint32_t p) {
   const SimTimeUs start_delay =
       fleet_->shard(0).strategy().DecisionCostUs(config_.cost, config_.num_processors) +
       config_.cost.net.one_way_us;
+  EmitSpan(p, TraceEventType::kShip, f.dispatch_time, f.dispatch_time + start_delay);
   events_.ScheduleAfter(start_delay, [this, p] { AdvanceLevel(p); });
+}
+
+void DecoupledClusterSim::EmitSpan(uint32_t p, TraceEventType type, SimTimeUs start,
+                                   SimTimeUs end, uint32_t level, uint32_t server,
+                                   uint64_t value) {
+  const InFlight& f = in_flight_[p];
+  if (!f.traced) {
+    return;
+  }
+  TraceEvent e;
+  e.ts_us = start;
+  e.dur_us = end > start ? end - start : 0.0;
+  e.query_id = f.query.id;
+  e.value = value;
+  e.track = p;
+  e.server = server;
+  e.level = level;
+  e.type = type;
+  tracer_->processor_ring(p).Record(e);
 }
 
 void DecoupledClusterSim::AdvanceLevel(uint32_t p) {
@@ -175,7 +213,9 @@ void DecoupledClusterSim::AdvanceLevel(uint32_t p) {
     // Query complete: result travels back to the router (the ack that lets
     // the router send the next query to this processor).
     const SimTimeUs response = events_.now() - f.dispatch_time;
-    response_samples_us_.push_back(response);
+    response_us_.Add(response);
+    EmitSpan(p, TraceEventType::kQuery, f.dispatch_time, events_.now(), 0, 0,
+             f.trace.level_stats.size());
     answers_.push_back(AnsweredQuery{f.query.id, p, f.result});
     const SimTimeUs ack = events_.now() + config_.cost.net.one_way_us;
     last_ack_us_ = std::max(last_ack_us_, ack);
@@ -198,6 +238,7 @@ void DecoupledClusterSim::StartLevelSync(uint32_t p) {
   const FetchTrace& trace = f.trace;
   const FetchTrace::Level& level = trace.level_stats[f.next_level];
   const CostModel& cost = config_.cost;
+  f.level_start = events_.now();
   SimTimeUs probes_done =
       events_.now() + cost.cache_lookup_us * static_cast<double>(level.lookups);
   if (config_.processor.cache_compressed) {
@@ -206,9 +247,14 @@ void DecoupledClusterSim::StartLevelSync(uint32_t p) {
     const SimTimeUs hit_decode =
         cost.decompress_base_us * static_cast<double>(level.hits) +
         cost.decompress_per_edge_us * static_cast<double>(level.hit_edges);
+    EmitSpan(p, TraceEventType::kDecode, probes_done, probes_done + hit_decode,
+             static_cast<uint32_t>(f.next_level), 0, level.hits);
     probes_done += hit_decode;
     decompress_us_ += hit_decode;
   }
+  EmitSpan(p, TraceEventType::kCompute, f.level_start,
+           f.level_start + cost.cache_lookup_us * static_cast<double>(level.lookups),
+           static_cast<uint32_t>(f.next_level), 0, level.lookups);
 
   // Collect this level's miss batches (they were recorded level-ordered).
   const size_t batch_begin = f.next_batch;
@@ -223,12 +269,20 @@ void DecoupledClusterSim::StartLevelSync(uint32_t p) {
   f.next_batch = batch_end;
   f.batches_outstanding = static_cast<uint32_t>(batch_end - batch_begin);
   f.level_fetch_done = probes_done;
+  f.level_probe_done = probes_done;
 
   auto finish_level = [this, p] {
     InFlight& fl = in_flight_[p];
     const FetchTrace::Level& lvl = fl.trace.level_stats[fl.next_level];
+    const auto level_idx = static_cast<uint32_t>(fl.next_level);
     const CostModel& cm = config_.cost;
     const bool cached = processors_[p]->cache_enabled();
+    // CPU sat idle from the end of the probe pass until the slowest reply
+    // landed — the level's exposed fetch latency.
+    if (fl.level_fetch_done > fl.level_probe_done) {
+      EmitSpan(p, TraceEventType::kStall, fl.level_probe_done, fl.level_fetch_done,
+               level_idx);
+    }
     SimTimeUs t = fl.level_fetch_done;
     if (cached) {
       t += cm.cache_insert_us * static_cast<double>(lvl.fetched);
@@ -239,12 +293,20 @@ void DecoupledClusterSim::StartLevelSync(uint32_t p) {
       const SimTimeUs fetch_decode =
           cm.decompress_base_us * static_cast<double>(lvl.fetched) +
           cm.decompress_per_edge_us * static_cast<double>(lvl.fetched_edges);
+      EmitSpan(p, TraceEventType::kDecode, t, t + fetch_decode, level_idx, 0,
+               lvl.fetched);
       t += fetch_decode;
       decompress_us_ += fetch_decode;
     }
-    t += cm.compute_per_node_us * static_cast<double>(lvl.hits + lvl.fetched);
+    const SimTimeUs compute_us =
+        cm.compute_per_node_us * static_cast<double>(lvl.hits + lvl.fetched);
+    EmitSpan(p, TraceEventType::kCompute, t, t + compute_us, level_idx, 0,
+             lvl.hits + lvl.fetched);
+    t += compute_us;
     fl.next_level += 1;
     const SimTimeUs close = std::max(t, events_.now());
+    EmitSpan(p, TraceEventType::kLevel, fl.level_start, close, level_idx, 0,
+             lvl.lookups);
     level_completions_.push_back(LevelCompletion{
         fl.query.id, p, static_cast<uint32_t>(fl.next_level - 1), close});
     events_.ScheduleAt(close, [this, p] { AdvanceLevel(p); });
@@ -259,8 +321,9 @@ void DecoupledClusterSim::StartLevelSync(uint32_t p) {
   // Dispatch all of this level's batches in parallel to their servers.
   for (size_t b = batch_begin; b < batch_end; ++b) {
     const FetchTrace::Batch batch = trace.batches[b];
+    const SimTimeUs issued = probes_done;  // batch-span start: left the CPU
     const SimTimeUs arrive = probes_done + cost.net.one_way_us;
-    events_.ScheduleAt(arrive, [this, p, batch, finish_level] {
+    events_.ScheduleAt(arrive, [this, p, batch, issued, finish_level] {
       const CostModel& cm = config_.cost;
       // FIFO service at the storage server.
       const SimTimeUs start = std::max(events_.now(), server_busy_until_[batch.server]);
@@ -269,9 +332,11 @@ void DecoupledClusterSim::StartLevelSync(uint32_t p) {
       server_busy_until_[batch.server] = done;
       const SimTimeUs reply = done + cm.net.one_way_us +
                               cm.net.per_kb_us * static_cast<double>(batch.bytes) / 1024.0;
-      events_.ScheduleAt(reply, [this, p, finish_level] {
+      events_.ScheduleAt(reply, [this, p, batch, issued, finish_level] {
         InFlight& fl = in_flight_[p];
         fl.level_fetch_done = std::max(fl.level_fetch_done, events_.now());
+        EmitSpan(p, TraceEventType::kBatch, issued, events_.now(), batch.level,
+                 batch.server, batch.values);
         GROUTING_CHECK(fl.batches_outstanding > 0);
         if (--fl.batches_outstanding == 0) {
           finish_level();
@@ -295,6 +360,7 @@ void DecoupledClusterSim::StartLevelAsync(uint32_t p) {
   }
   f.next_batch = batch_end;
   f.level_batch_end = batch_end;
+  f.level_start = events_.now();
   const size_t num_batches = batch_end - batch_begin;
   const size_t first_wave =
       std::min<size_t>(config_.processor.max_inflight_batches, num_batches);
@@ -312,10 +378,14 @@ void DecoupledClusterSim::StartLevelAsync(uint32_t p) {
   // Probe phase + hit-side compute overlap with the outstanding batches.
   f.hit_work_done = t + cost.cache_lookup_us * static_cast<double>(level.lookups) +
                     cost.compute_per_node_us * static_cast<double>(level.hits);
+  EmitSpan(p, TraceEventType::kCompute, f.issue_done, f.hit_work_done,
+           static_cast<uint32_t>(f.next_level), 0, level.lookups + level.hits);
   if (config_.processor.cache_compressed) {
     const SimTimeUs hit_decode =
         cost.decompress_base_us * static_cast<double>(level.hits) +
         cost.decompress_per_edge_us * static_cast<double>(level.hit_edges);
+    EmitSpan(p, TraceEventType::kDecode, f.hit_work_done, f.hit_work_done + hit_decode,
+             static_cast<uint32_t>(f.next_level), 0, level.hits);
     f.hit_work_done += hit_decode;
     decompress_us_ += hit_decode;
   }
@@ -332,8 +402,9 @@ void DecoupledClusterSim::StartLevelAsync(uint32_t p) {
 
 void DecoupledClusterSim::DepartBatchAsync(uint32_t p, size_t batch_index) {
   const FetchTrace::Batch batch = in_flight_[p].trace.batches[batch_index];
-  const SimTimeUs arrive = events_.now() + config_.cost.net.one_way_us;
-  events_.ScheduleAt(arrive, [this, p, batch_index, batch] {
+  const SimTimeUs depart = events_.now();  // batch-span start: left the CPU
+  const SimTimeUs arrive = depart + config_.cost.net.one_way_us;
+  events_.ScheduleAt(arrive, [this, p, batch_index, batch, depart] {
     const CostModel& cm = config_.cost;
     // FIFO service at the storage server — shared with the sync model, so
     // async batches contend with every other processor's identically.
@@ -343,16 +414,26 @@ void DecoupledClusterSim::DepartBatchAsync(uint32_t p, size_t batch_index) {
     server_busy_until_[batch.server] = done;
     const SimTimeUs reply = done + cm.net.one_way_us +
                             cm.net.per_kb_us * static_cast<double>(batch.bytes) / 1024.0;
-    events_.ScheduleAt(reply,
-                       [this, p, batch_index] { ReplyBatchAsync(p, batch_index); });
+    events_.ScheduleAt(reply, [this, p, batch_index, depart] {
+      ReplyBatchAsync(p, batch_index, depart);
+    });
   });
 }
 
-void DecoupledClusterSim::ReplyBatchAsync(uint32_t p, size_t batch_index) {
+void DecoupledClusterSim::ReplyBatchAsync(uint32_t p, size_t batch_index,
+                                          SimTimeUs depart_ts) {
   InFlight& f = in_flight_[p];
   const FetchTrace::Batch& batch = f.trace.batches[batch_index];
   const CostModel& cm = config_.cost;
 
+  EmitSpan(p, TraceEventType::kBatch, depart_ts, events_.now(), batch.level,
+           batch.server, batch.values);
+  if (events_.now() > f.cpu_free) {
+    // The CPU drained its probe/post-processing work before this reply
+    // landed: the gap is exposed fetch latency the pipeline failed to hide.
+    EmitSpan(p, TraceEventType::kStall, f.cpu_free, events_.now(), batch.level,
+             batch.server);
+  }
   f.last_reply = std::max(f.last_reply, events_.now());
   GROUTING_CHECK(f.batches_outstanding > 0);
   --f.batches_outstanding;
@@ -369,17 +450,27 @@ void DecoupledClusterSim::ReplyBatchAsync(uint32_t p, size_t batch_index) {
   // This reply's inserts + compute join the processor's CPU timeline (the
   // CPU is busy with probes/earlier replies until cpu_free).
   const SimTimeUs post_start = std::max(events_.now(), f.cpu_free);
-  SimTimeUs post_us = cm.compute_per_node_us * static_cast<double>(batch.values);
+  const SimTimeUs compute_us =
+      cm.compute_per_node_us * static_cast<double>(batch.values);
+  SimTimeUs post_us = compute_us;
+  SimTimeUs insert_us = 0.0;
   if (processors_[p]->cache_enabled()) {
-    post_us += cm.cache_insert_us * static_cast<double>(batch.values);
+    insert_us = cm.cache_insert_us * static_cast<double>(batch.values);
+    post_us += insert_us;
   }
+  SimTimeUs fetch_decode = 0.0;
   if (config_.adjacency_encoding == AdjacencyEncoding::kDeltaVarint) {
-    const SimTimeUs fetch_decode =
-        cm.decompress_base_us * static_cast<double>(batch.values) +
-        cm.decompress_per_edge_us * static_cast<double>(batch.edges);
+    fetch_decode = cm.decompress_base_us * static_cast<double>(batch.values) +
+                   cm.decompress_per_edge_us * static_cast<double>(batch.edges);
     post_us += fetch_decode;
     decompress_us_ += fetch_decode;
+    EmitSpan(p, TraceEventType::kDecode, post_start + insert_us,
+             post_start + insert_us + fetch_decode, batch.level, batch.server,
+             batch.values);
   }
+  EmitSpan(p, TraceEventType::kCompute, post_start + insert_us + fetch_decode,
+           post_start + insert_us + fetch_decode + compute_us, batch.level,
+           batch.server, batch.values);
   f.cpu_free = post_start + post_us;
 
   if (f.batches_outstanding == 0 && f.next_unissued >= f.level_batch_end) {
@@ -394,6 +485,8 @@ void DecoupledClusterSim::FinishLevelAsync(uint32_t p) {
   total_fetch_overlap_us_ +=
       std::max(0.0, std::min(f.hit_work_done, f.last_reply) - f.issue_done);
   batches_inflight_peak_ = std::max(batches_inflight_peak_, f.level_inflight_peak);
+  EmitSpan(p, TraceEventType::kLevel, f.level_start, events_.now(),
+           static_cast<uint32_t>(f.next_level));
   level_completions_.push_back(LevelCompletion{
       f.query.id, p, static_cast<uint32_t>(f.next_level), events_.now()});
   f.next_level += 1;

@@ -89,9 +89,10 @@ class DecoupledClusterSim : public ClusterEngine {
   void StartLevelSync(uint32_t p);
   void StartLevelAsync(uint32_t p);
   // Async pipeline: departure of one issued batch towards its server, and
-  // the reply landing back at the processor.
+  // the reply landing back at the processor. `depart_ts` is when the CPU
+  // finished issuing the batch (the trace's batch-span start).
   void DepartBatchAsync(uint32_t p, size_t batch_index);
-  void ReplyBatchAsync(uint32_t p, size_t batch_index);
+  void ReplyBatchAsync(uint32_t p, size_t batch_index, SimTimeUs depart_ts);
   // Closes the current level once probe-side and batch post-processing are
   // done; records the audit entry and schedules the next AdvanceLevel.
   void FinishLevelAsync(uint32_t p);
@@ -112,6 +113,12 @@ class DecoupledClusterSim : public ClusterEngine {
     SimTimeUs level_fetch_done = 0.0;
     SimTimeUs dispatch_time = 0.0;
     SimTimeUs arrival_time = 0.0;
+    // Tracing state: whether this query is sampled, and the virtual anchors
+    // the span emissions need (recording is passive — replay timing never
+    // reads these).
+    bool traced = false;
+    SimTimeUs level_start = 0.0;
+    SimTimeUs level_probe_done = 0.0;
     // Async pipeline state for the level being replayed.
     size_t level_batch_end = 0;   // one past this level's last batch index
     size_t next_unissued = 0;     // next batch index awaiting a window slot
@@ -122,14 +129,19 @@ class DecoupledClusterSim : public ClusterEngine {
     uint32_t level_inflight_peak = 0;
   };
 
+  // Virtual-time span recording into the engine's TraceRecorder for the
+  // query in flight on processor p. No-op unless that query is sampled.
+  void EmitSpan(uint32_t p, TraceEventType type, SimTimeUs start, SimTimeUs end,
+                uint32_t level = 0, uint32_t server = 0, uint64_t value = 0);
+
   EventQueue events_;
-  std::function<void(const Query&)> dispatch_wait_hook_;
+  std::function<void(const Query&, uint32_t)> dispatch_wait_hook_;
   std::unique_ptr<RouterFleet> fleet_;
   std::vector<InFlight> in_flight_;  // per processor
   std::vector<uint8_t> processor_idle_;
   std::vector<SimTimeUs> server_busy_until_;
   RunningStat queue_wait_us_;
-  std::vector<double> response_samples_us_;
+  LatencyHistogram response_us_;
   // Time of the last completion ack back at the router: the run's makespan.
   // Tracked explicitly so trailing gossip events cannot inflate it.
   SimTimeUs last_ack_us_ = 0.0;

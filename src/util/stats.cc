@@ -92,6 +92,85 @@ std::string Histogram::ToString() const {
   return out;
 }
 
+LatencyHistogram::LatencyHistogram() : buckets_(kBuckets, 0) {}
+
+int LatencyHistogram::BucketIndex(double us) {
+  if (!(us > 0.0)) {
+    return 0;  // zero / negative / NaN clamp into the first bucket
+  }
+  int exp = 0;
+  const double m = std::frexp(us, &exp);  // us = m * 2^exp, m in [0.5, 1)
+  const int octave = (exp - 1) - kMinExp;
+  if (octave < 0) {
+    return 0;
+  }
+  if (octave >= kOctaves) {
+    return kBuckets - 1;
+  }
+  int sub = static_cast<int>((m * 2.0 - 1.0) * kSubBuckets);
+  sub = std::min(std::max(sub, 0), kSubBuckets - 1);
+  return octave * kSubBuckets + sub;
+}
+
+double LatencyHistogram::BucketLower(int index) {
+  const int octave = index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub) / kSubBuckets, kMinExp + octave);
+}
+
+double LatencyHistogram::BucketLowerBound(double us) {
+  return BucketLower(BucketIndex(us));
+}
+
+double LatencyHistogram::BucketUpperBound(double us) {
+  return BucketLower(BucketIndex(us) + 1);
+}
+
+void LatencyHistogram::Add(double us) {
+  buckets_[BucketIndex(us)] += 1;
+  exact_.Add(us);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  exact_.Merge(other.exact_);
+}
+
+double LatencyHistogram::Percentile(double p) const {
+  GROUTING_CHECK(p >= 0.0 && p <= 100.0);
+  const int64_t n = count();
+  if (n == 0) {
+    return 0.0;
+  }
+  // Same rank convention as the exact Percentile() above, so the two agree
+  // up to bucket resolution on identical samples.
+  const double rank = p / 100.0 * static_cast<double>(n - 1);
+  int64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    const auto in_bucket = static_cast<int64_t>(buckets_[i]);
+    if (static_cast<double>(seen + in_bucket) > rank) {
+      // Interpolate within the bucket by rank position, then clamp into the
+      // observed value range so extreme quantiles never exceed the true
+      // min/max.
+      const double frac =
+          in_bucket <= 1 ? 0.5
+                         : (rank - static_cast<double>(seen)) /
+                               static_cast<double>(in_bucket - 1);
+      const double lo = BucketLower(i);
+      const double hi = BucketLower(i + 1);
+      const double v = lo + frac * (hi - lo);
+      return std::min(std::max(v, min()), max());
+    }
+    seen += in_bucket;
+  }
+  return max();
+}
+
 double Percentile(std::vector<double> samples, double p) {
   GROUTING_CHECK(p >= 0.0 && p <= 100.0);
   if (samples.empty()) {

@@ -78,6 +78,55 @@ class Histogram {
 // Exact percentile over a sample vector (sorts a copy). p in [0, 100].
 double Percentile(std::vector<double> samples, double p);
 
+// O(1)-memory latency distribution: log-linear buckets (HDR-histogram
+// style) over non-negative double microseconds — every power-of-two octave
+// is split into kSubBuckets linear sub-buckets, so any quantile is read in
+// one pass with a relative bucket error of at most 1/kSubBuckets (~3%).
+// This replaces the engines' raw per-query sample vectors: memory no longer
+// grows with the run length, and p50/p95/p99/p999 all come from the same
+// single pass instead of a full sort per percentile.
+//
+// The mean is NOT bucketed: an embedded RunningStat accumulates the exact
+// samples in Add order, so a histogram-backed mean is bit-identical to the
+// pre-histogram sample-vector mean for the same Add sequence.
+class LatencyHistogram {
+ public:
+  // Sub-buckets per power-of-two octave (the quantile resolution knob).
+  static constexpr int kSubBits = 5;
+  static constexpr int kSubBuckets = 1 << kSubBits;  // 32 -> <=3.2% rel. error
+  // Octave range: 2^kMinExp .. 2^(kMinExp + kOctaves) µs; values outside
+  // clamp into the first/last bucket.
+  static constexpr int kMinExp = -16;  // ~15 ns resolution floor
+  static constexpr int kOctaves = 56;  // up to ~2^40 µs (= years)
+  static constexpr int kBuckets = kOctaves * kSubBuckets;
+
+  LatencyHistogram();
+
+  void Add(double us);
+  void Merge(const LatencyHistogram& other);
+
+  int64_t count() const { return exact_.count(); }
+  double mean() const { return exact_.mean(); }
+  double min() const { return exact_.min(); }
+  double max() const { return exact_.max(); }
+
+  // Bucket-interpolated percentile, p in [0, 100]; within one bucket width
+  // of the exact sorted-sample percentile (tests/util_test.cc pins this).
+  double Percentile(double p) const;
+
+  // [lower, upper) value bounds of the bucket holding `us` — the error bar
+  // any quantile read out of this histogram carries.
+  static double BucketLowerBound(double us);
+  static double BucketUpperBound(double us);
+
+ private:
+  static int BucketIndex(double us);
+  static double BucketLower(int index);
+
+  std::vector<uint64_t> buckets_;
+  RunningStat exact_;  // exact mean/min/max in Add order
+};
+
 }  // namespace grouting
 
 #endif  // GROUTING_SRC_UTIL_STATS_H_

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <set>
 #include <thread>
@@ -256,6 +257,84 @@ TEST(PercentileTest, ExactValues) {
 }
 
 TEST(PercentileTest, EmptyIsZero) { EXPECT_EQ(Percentile({}, 50), 0.0); }
+
+// -------------------------------------------------- LatencyHistogram ----
+
+// The regression this pins: histogram percentiles replaced a full sort per
+// percentile over raw sample vectors (satellite of the tracing PR). Every
+// quantile must stay within one bucket width of the exact sorted-sample
+// percentile, over distributions shaped like real latency data.
+TEST(LatencyHistogramTest, PercentilesWithinOneBucketOfExact) {
+  Rng rng(7);
+  std::vector<double> samples;
+  LatencyHistogram h;
+  // Log-normal-ish heavy tail across several orders of magnitude, the
+  // shape of per-query response times.
+  for (int i = 0; i < 20000; ++i) {
+    double v = std::exp(rng.NextGaussian() * 2.0 + 3.0);  // median e^3 µs
+    samples.push_back(v);
+    h.Add(v);
+  }
+  for (const double p : {1.0, 10.0, 50.0, 90.0, 95.0, 99.0, 99.9}) {
+    const double exact = Percentile(samples, p);
+    const double approx = h.Percentile(p);
+    const double lo = LatencyHistogram::BucketLowerBound(exact);
+    const double hi = LatencyHistogram::BucketUpperBound(exact);
+    EXPECT_GE(approx, lo - 1e-12) << "p" << p;
+    EXPECT_LE(approx, hi + 1e-12) << "p" << p;
+  }
+}
+
+TEST(LatencyHistogramTest, MeanMinMaxAreExact) {
+  // The mean comes from the embedded RunningStat, not the buckets: it is
+  // bit-identical to a RunningStat fed the same Add sequence.
+  RunningStat reference;
+  LatencyHistogram h;
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.NextDouble() * 1e4;
+    reference.Add(v);
+    h.Add(v);
+  }
+  EXPECT_EQ(h.mean(), reference.mean());
+  EXPECT_EQ(h.min(), reference.min());
+  EXPECT_EQ(h.max(), reference.max());
+  EXPECT_EQ(h.count(), reference.count());
+}
+
+TEST(LatencyHistogramTest, MergeMatchesSequential) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram all;
+  Rng rng(13);
+  for (int i = 0; i < 4000; ++i) {
+    const double v = std::exp(rng.NextGaussian() + 2.0);
+    (i % 2 == 0 ? a : b).Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  for (const double p : {50.0, 95.0, 99.0}) {
+    // Identical bucket contents -> identical interpolated percentiles.
+    EXPECT_DOUBLE_EQ(a.Percentile(p), all.Percentile(p));
+  }
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9 * all.mean());
+}
+
+TEST(LatencyHistogramTest, EdgeCases) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.Percentile(50.0), 0.0);
+  h.Add(0.0);  // clamps into the first bucket
+  h.Add(5.0);
+  h.Add(5.0);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_GE(h.Percentile(99.0), LatencyHistogram::BucketLowerBound(5.0));
+  EXPECT_LE(h.Percentile(99.0), h.max());
+  // Quantiles are clamped to the observed range.
+  EXPECT_GE(h.Percentile(0.0), 0.0);
+  EXPECT_LE(h.Percentile(100.0), 5.0 + 1e-12);
+}
 
 // -------------------------------------------------------------- Table ----
 

@@ -12,9 +12,15 @@ but no current file fails, so a silently-dropped bench cannot pass.
 Only deterministic metrics should be gated: CI runs this on the simulated
 engine (virtual time), never on threaded wall-clock numbers.
 
+Two metrics are gated per row: the mean (--metric, default mean_response_ms,
+--threshold 25%) and the tail (p99_response_ms, --p99-threshold, default
+40% — looser because log-bucketed histogram percentiles carry up to ~3.2%
+bucket error on top of genuine tail noise). Rows whose baseline predates the
+p99 field skip the tail check.
+
 Usage:
   tools/check_bench_regression.py --current <dir> [--baseline bench/baselines]
-      [--threshold 0.25] [--metric mean_response_ms]
+      [--threshold 0.25] [--metric mean_response_ms] [--p99-threshold 0.40]
 """
 
 import argparse
@@ -40,7 +46,14 @@ def main():
     ap.add_argument("--threshold", type=float, default=0.25,
                     help="fail when metric > baseline * (1 + threshold)")
     ap.add_argument("--metric", default="mean_response_ms")
+    ap.add_argument("--p99-metric", default="p99_response_ms")
+    ap.add_argument("--p99-threshold", type=float, default=0.40,
+                    help="tail-latency tolerance (0 disables the p99 gate)")
     args = ap.parse_args()
+
+    gates = [(args.metric, args.threshold)]
+    if args.p99_threshold > 0:
+        gates.append((args.p99_metric, args.p99_threshold))
 
     baselines = sorted(glob.glob(os.path.join(args.baseline, "BENCH_*.json")))
     if not baselines:
@@ -66,22 +79,24 @@ def main():
             if cur_row is None:
                 print(f"{name}: row {key} missing from current run (sweep changed?)")
                 continue
-            base_v, cur_v = base_row.get(args.metric), cur_row.get(args.metric)
-            if base_v is None or cur_v is None or base_v <= 0:
-                continue
-            compared += 1
-            ratio = cur_v / base_v
-            if ratio > 1.0 + args.threshold:
-                failures.append(
-                    f"{name}: {'/'.join(key)}: {args.metric} {cur_v:.4g} vs "
-                    f"baseline {base_v:.4g} (+{100 * (ratio - 1):.1f}%)")
+            for metric, threshold in gates:
+                base_v, cur_v = base_row.get(metric), cur_row.get(metric)
+                if base_v is None or cur_v is None or base_v <= 0:
+                    continue
+                compared += 1
+                ratio = cur_v / base_v
+                if ratio > 1.0 + threshold:
+                    failures.append(
+                        f"{name}: {'/'.join(key)}: {metric} {cur_v:.4g} vs "
+                        f"baseline {base_v:.4g} (+{100 * (ratio - 1):.1f}%, "
+                        f"limit +{100 * threshold:.0f}%)")
         extra = set(cur_rows) - set(base_rows)
         for key in sorted(extra):
             print(f"{name}: new row {key} (no baseline yet)")
 
-    print(f"compared {compared} rows against {len(baselines)} baseline files")
+    print(f"compared {compared} row-metrics against {len(baselines)} baseline files")
     if failures:
-        print(f"\nREGRESSION GATE FAILED (>{100 * args.threshold:.0f}% on {args.metric}):")
+        print("\nREGRESSION GATE FAILED:")
         for f in failures:
             print(f"  {f}")
         return 1
