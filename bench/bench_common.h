@@ -176,6 +176,8 @@ inline void WriteBenchJson(const std::string& name,
                    "\"batches_inflight_peak\": %u, \"fetch_overlap_us\": %.6g, "
                    "\"storage_load_imbalance\": %.6g, \"partitions_migrated\": %llu, "
                    "\"repartition_stall_us\": %.6g, "
+                   "\"partitions_replicated\": %llu, \"replica_reads\": %llu, "
+                   "\"replica_demotions\": %llu, "
                    "\"adjacency_compression_ratio\": %.6g, \"cache_entries\": %llu, "
                    "\"decompress_us\": %.6g, \"bytes_from_storage\": %llu}",
                    m.throughput_qps, m.mean_response_ms, m.p50_response_ms,
@@ -186,7 +188,11 @@ inline void WriteBenchJson(const std::string& name,
                    static_cast<unsigned long long>(m.steals), m.batches_inflight_peak,
                    m.fetch_overlap_us, m.storage_load_imbalance,
                    static_cast<unsigned long long>(m.partitions_migrated),
-                   m.repartition_stall_us, m.adjacency_compression_ratio,
+                   m.repartition_stall_us,
+                   static_cast<unsigned long long>(m.partitions_replicated),
+                   static_cast<unsigned long long>(m.replica_reads),
+                   static_cast<unsigned long long>(m.replica_demotions),
+                   m.adjacency_compression_ratio,
                    static_cast<unsigned long long>(m.cache_entries), m.decompress_us,
                    static_cast<unsigned long long>(m.bytes_from_storage));
       first = false;

@@ -88,6 +88,13 @@ void PrintHelp() {
       "                           (default 4)\n"
       "  --partitions-per-server=<int>  virtual partitions per storage server\n"
       "                           (migration granularity, default 8)\n"
+      "  --replication-top-k=<int>  hot partitions promoted to an extra\n"
+      "                           replica per round (0 disables, default 0)\n"
+      "  --replica-demote-threshold=<frac>  demote replicas once a\n"
+      "                           partition's rate falls to this fraction of\n"
+      "                           the average server load (default 0.1)\n"
+      "  --max-replicas-per-partition=<int>  extra copies a partition may\n"
+      "                           hold beyond its primary (default 2, max 3)\n"
       "  --adjacency-encoding=raw|delta_varint  storage wire format\n"
       "                           (default raw)\n"
       "  --cache-compressed       processor caches admit the compressed blob\n"
@@ -190,6 +197,12 @@ int main(int argc, char** argv) {
   opts.repartition_cap = static_cast<uint32_t>(flags.GetInt("repartition-cap", 4));
   opts.partitions_per_server =
       static_cast<uint32_t>(flags.GetInt("partitions-per-server", 8));
+  opts.replication_top_k =
+      static_cast<uint32_t>(flags.GetInt("replication-top-k", 0));
+  opts.replica_demote_threshold =
+      flags.GetDouble("replica-demote-threshold", 0.1);
+  opts.max_replicas_per_partition =
+      static_cast<uint32_t>(flags.GetInt("max-replicas-per-partition", 2));
   const std::string encoding_name = flags.Get("adjacency-encoding", "raw");
   if (encoding_name != "raw" && encoding_name != "delta_varint") {
     std::fprintf(stderr, "unknown --adjacency-encoding '%s'; see --help\n",
@@ -266,11 +279,20 @@ int main(int argc, char** argv) {
   t.AddRow({"storage load imbalance",
             Table::Num(m.storage_load_imbalance, 2) + " max/min"});
   t.AddRow({"steals", Table::Int(static_cast<int64_t>(m.steals))});
-  if (env.MakeClusterConfig(opts).MakeRepartitionConfig().enabled()) {
+  const RepartitionConfig repartition =
+      env.MakeClusterConfig(opts).MakeRepartitionConfig();
+  if (repartition.active()) {
     t.AddRow({"partitions migrated",
               Table::Int(static_cast<int64_t>(m.partitions_migrated))});
     t.AddRow(
         {"repartition stall", Table::Num(m.repartition_stall_us / 1000.0, 3) + " ms"});
+  }
+  if (repartition.replication_enabled()) {
+    t.AddRow({"partitions replicated",
+              Table::Int(static_cast<int64_t>(m.partitions_replicated))});
+    t.AddRow({"replica reads", Table::Int(static_cast<int64_t>(m.replica_reads))});
+    t.AddRow({"replica demotions",
+              Table::Int(static_cast<int64_t>(m.replica_demotions))});
   }
   if (opts.max_inflight_batches > 1) {
     t.AddRow({"inflight batch peak",

@@ -38,11 +38,17 @@ ClusterEngine::ClusterEngine(const Graph& graph, const ClusterConfig& config,
     // keep it attached to the entry.
     storage_->set_retain_wire(true);
   }
-  if (repartition_config_.enabled()) {
+  if (repartition_config_.active()) {
     GROUTING_CHECK_MSG(placement == nullptr,
-                       "storage repartitioning is incompatible with an explicit "
-                       "storage placement");
+                       "storage repartitioning/replication is incompatible with "
+                       "an explicit storage placement");
     storage_->EnableRepartitioning(repartition_config_.partitions_per_server);
+    if (repartition_config_.replication_enabled()) {
+      GROUTING_CHECK_MSG(
+          repartition_config_.max_replicas_per_partition <= PartitionMap::kMaxReplicas,
+          "max_replicas_per_partition exceeds the map's packing limit");
+      storage_->EnableReplication();
+    }
   }
   if (placement != nullptr) {
     storage_->LoadGraph(graph, *placement);
@@ -110,6 +116,9 @@ void ClusterEngine::AddStorageTierStats(ClusterMetrics* m) const {
   m->storage_load_imbalance = StorageLoadImbalance(storage_->GetRequestsPerServer());
   m->partitions_migrated = partitions_migrated_;
   m->adjacency_compression_ratio = storage_->AdjacencyCompressionRatio();
+  m->partitions_replicated = replica_promotions_;
+  m->replica_demotions = replica_demotions_;
+  m->replica_reads = storage_->replica_reads();
 }
 
 std::vector<StorageTier::MigrationResult> ClusterEngine::RepartitionRound() {
@@ -119,13 +128,28 @@ std::vector<StorageTier::MigrationResult> ClusterEngine::RepartitionRound() {
     return executed;
   }
   monitor->RollWindow(repartition_config_.load_decay);
-  const std::vector<PartitionMigration> plan = PlanRepartition(
-      *storage_->partition_map(), monitor->rates(), repartition_config_);
-  executed.reserve(plan.size());
-  for (const PartitionMigration& mig : plan) {
-    executed.push_back(storage_->MigratePartition(mig.partition, mig.to));
+  if (repartition_config_.replication_enabled()) {
+    const ReplicationPlan plan = PlanReplication(
+        *storage_->partition_map(), monitor->rates(), repartition_config_);
+    for (const ReplicaChange& d : plan.demote) {
+      executed.push_back(storage_->RemoveReplica(d.partition, d.server));
+      ++replica_demotions_;
+    }
+    for (const ReplicaChange& p : plan.promote) {
+      executed.push_back(storage_->AddReplica(p.partition, p.server));
+      ++replica_promotions_;
+    }
   }
-  partitions_migrated_ += executed.size();
+  if (repartition_config_.enabled()) {
+    // Planned after the replica changes landed, so replicated partitions
+    // are excluded as migration victims against the freshest replica sets.
+    const std::vector<PartitionMigration> plan = PlanRepartition(
+        *storage_->partition_map(), monitor->rates(), repartition_config_);
+    for (const PartitionMigration& mig : plan) {
+      executed.push_back(storage_->MigratePartition(mig.partition, mig.to));
+      ++partitions_migrated_;
+    }
+  }
   return executed;
 }
 

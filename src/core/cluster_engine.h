@@ -118,6 +118,22 @@ struct ClusterConfig {
   // initial partition->server layout reproduces hash placement exactly.
   uint32_t partitions_per_server = 8;
 
+  // --- Hot-partition replication (rides the repartition planner rounds) ---
+  // Promote up to this many of the hottest partitions to one extra replica
+  // per round; reads then fan across {primary + replicas} via
+  // power-of-two-choices on server load. 0 disables replication — the read
+  // path is then bit-identical to the migration-only tier. Shares the
+  // repartition machinery, so it also needs gossip_period_us > 0 and no
+  // explicit storage placement (partitions_per_server applies too).
+  uint32_t replication_top_k = 0;
+  // Demote one replica per round from any replicated partition whose
+  // decayed access rate fell to or below this fraction of the average
+  // per-server load (cold replicas are reclaimed).
+  double replica_demote_threshold = 0.1;
+  // Extra copies beyond the primary a partition may hold (capped at
+  // PartitionMap::kMaxReplicas = 3).
+  uint32_t max_replicas_per_partition = 2;
+
   // --- Observability (src/obs/) ---
   // Per-query lifecycle tracing: record every Nth query's spans (arrival,
   // routing, queue wait, levels, batches, stalls, decode) into per-track
@@ -130,15 +146,19 @@ struct ClusterConfig {
   // A full ring drops new events and counts them (trace_events_dropped).
   uint32_t trace_buffer_capacity = 1u << 16;
 
-  // The storage-rebalancer policy the three knobs above lower to.
-  // enabled() on the result is the single source of truth for whether
-  // repartitioning runs — the engine and every display/consumer derive it
-  // from here, never by re-testing the raw knobs.
+  // The storage-rebalancer policy the knobs above lower to. enabled() /
+  // replication_enabled() / active() on the result are the single source of
+  // truth for whether migration and/or replication run — the engine and
+  // every display/consumer derive it from here, never by re-testing the
+  // raw knobs.
   RepartitionConfig MakeRepartitionConfig() const {
     RepartitionConfig repartition;
     repartition.threshold = repartition_threshold;
     repartition.migration_cap = repartition_cap;
     repartition.partitions_per_server = partitions_per_server;
+    repartition.replication_top_k = replication_top_k;
+    repartition.replica_demote_threshold = replica_demote_threshold;
+    repartition.max_replicas_per_partition = max_replicas_per_partition;
     return repartition;
   }
 };
@@ -210,6 +230,15 @@ struct ClusterMetrics {
   // the simulated engine, wall-clock time the gossip tick spent copying /
   // draining / deleting on the threaded one (µs).
   double repartition_stall_us = 0.0;
+  // Hot-partition replication: replica copies created by promotion rounds
+  // over the run (a partition promoted to two replicas counts twice; 0
+  // when replication is off).
+  uint64_t partitions_replicated = 0;
+  // Reads served by a non-primary replica under power-of-two-choices
+  // routing (the replication fan-out actually used).
+  uint64_t replica_reads = 0;
+  // Replica copies torn down by the cold-partition demotion rule.
+  uint64_t replica_demotions = 0;
   // Logical (v1) bytes / encoded wire bytes across the loaded graph; 1.0
   // under raw encoding.
   double adjacency_compression_ratio = 1.0;
@@ -299,16 +328,22 @@ class ClusterEngine {
   // Trace-subsystem counters (recorded/dropped/high-water) into `m`.
   void AddTraceStats(ClusterMetrics* m) const;
 
-  // Whether the config enables storage-tier repartitioning rounds.
-  bool repartition_enabled() const { return repartition_config_.enabled(); }
+  // Whether the config enables storage-tier repartition rounds at all —
+  // hot-partition migration, replication, or both.
+  bool repartition_enabled() const { return repartition_config_.active(); }
 
   // One storage-tier repartition round, shared by both engines: rolls the
-  // access monitor's window into decayed rates, plans hot-partition moves
-  // (threshold + hysteresis + cap + noise floor), and executes each against
-  // the tier (copy -> flip -> drain -> delete). Returns what physically
-  // moved so the caller can charge engine-specific time for it. Thread-safe
-  // against concurrent query execution, but rounds themselves must be
-  // serialised (the sim's event loop / the threaded gossip tick are).
+  // access monitor's window into decayed rates, then (replication on)
+  // executes planned replica demotions and promotions and (migration on)
+  // plans hot-partition moves (threshold + hysteresis + cap + noise floor)
+  // and executes each against the tier (copy -> flip -> drain -> delete).
+  // Replica changes execute BEFORE the migration plan is computed, so
+  // PlanRepartition sees the fresh replica sets and never picks a
+  // just-promoted partition as a migration victim. Returns what
+  // physically moved so the caller can charge engine-specific time for it.
+  // Thread-safe against concurrent query execution, but rounds themselves
+  // must be serialised (the sim's event loop / the threaded gossip tick
+  // are).
   std::vector<StorageTier::MigrationResult> RepartitionRound();
 
   ClusterConfig config_;
@@ -320,8 +355,11 @@ class ClusterEngine {
   std::unique_ptr<TraceRecorder> tracer_;
   // Lowered from config_: the storage rebalancer's controller policy.
   RepartitionConfig repartition_config_;
-  // Partitions moved so far (written only by RepartitionRound's caller).
+  // Partitions moved / replica copies created / replica copies torn down so
+  // far (written only by RepartitionRound's caller).
   uint64_t partitions_migrated_ = 0;
+  uint64_t replica_promotions_ = 0;
+  uint64_t replica_demotions_ = 0;
   bool ran_ = false;
 };
 

@@ -132,6 +132,9 @@ ClusterConfig ExperimentEnv::MakeClusterConfig(const RunOptions& options) {
   config.repartition_threshold = options.repartition_threshold;
   config.repartition_cap = options.repartition_cap;
   config.partitions_per_server = options.partitions_per_server;
+  config.replication_top_k = options.replication_top_k;
+  config.replica_demote_threshold = options.replica_demote_threshold;
+  config.max_replicas_per_partition = options.max_replicas_per_partition;
   config.trace_sample_every_n = options.trace_sample_every_n;
   config.trace_buffer_capacity = options.trace_buffer_capacity;
   config.arrival_gap_us = options.arrival_gap_us;

@@ -76,6 +76,13 @@ struct RunOptions {
   double repartition_threshold = 0.0;
   uint32_t repartition_cap = 4;
   uint32_t partitions_per_server = 8;
+  // Hot-partition replication riding the same planner rounds: promote the
+  // top-k hottest partitions to an extra replica (0 disables), demote
+  // replicas whose rate falls to or below this fraction of the average
+  // per-server load, and cap the extra copies a partition may hold.
+  uint32_t replication_top_k = 0;
+  double replica_demote_threshold = 0.1;
+  uint32_t max_replicas_per_partition = 2;
   // Query-lifecycle tracing (src/obs/): record every Nth query's spans into
   // the engine's trace rings; 0 disables tracing, 1 traces every query.
   uint32_t trace_sample_every_n = 0;

@@ -32,6 +32,16 @@
 // The physical move (copy keys -> flip owner -> drain in-flight multigets
 // against the old owner -> delete) is the storage tier's job:
 // StorageTier::MigratePartition.
+//
+// Hot-partition REPLICATION rides the same skeleton: when a single scorching
+// partition saturates its owner even after migration (migration can only
+// relocate the hotspot, never split it), PlanReplication promotes the top-k
+// hottest partitions to an extra replica on the least-loaded server. Readers
+// then fan across {owner + replicas} with power-of-two-choices on server
+// load (StorageTier::ReadServerOf), and a demotion rule on the same decayed
+// rates reclaims replicas once a partition cools. Replica sets live in the
+// map as packed versioned stamps next to the owner stamps; creation and
+// teardown reuse the copy -> flip -> drain -> delete epoch machinery.
 
 #ifndef GROUTING_SRC_PARTITION_REPARTITION_H_
 #define GROUTING_SRC_PARTITION_REPARTITION_H_
@@ -71,10 +81,37 @@ struct RepartitionConfig {
   // short windows of sampling jitter never thrash partitions.
   double noise_sigmas = 3.0;
 
+  // --- Hot-partition replication (PlanReplication) ----------------------
+  // Promote up to this many of the hottest partitions to one extra replica
+  // per round. 0 disables replication entirely — the read path then reduces
+  // to plain owner routing, bit-identical to the pre-replication tier.
+  uint32_t replication_top_k = 0;
+  // Demote one replica per round from any replicated partition whose
+  // decayed rate has fallen to or below this fraction of the average
+  // per-server load (cold replicas are reclaimed, not kept forever).
+  double replica_demote_threshold = 0.1;
+  // Extra copies beyond the primary a partition may hold, capped at
+  // PartitionMap::kMaxReplicas.
+  uint32_t max_replicas_per_partition = 2;
+  // Promotion floor: only partitions whose rate is at least this multiple
+  // of the average per-PARTITION rate qualify as "hot". Partition-relative
+  // (not server-relative) so the floor separates skew from uniform traffic
+  // at any partitions_per_server: a uniform workload sits at 1.0x by
+  // construction. The gap between this and replica_demote_threshold is the
+  // promotion/demotion hysteresis band.
+  double replica_hot_fraction = 2.0;
+
   bool enabled() const {
     return threshold > 1.0 && threshold < 1e30 && migration_cap > 0 &&
            partitions_per_server > 0;
   }
+  bool replication_enabled() const {
+    return replication_top_k > 0 && max_replicas_per_partition > 0 &&
+           partitions_per_server > 0;
+  }
+  // Whether the engine needs the partition map / monitor / gossip rounds at
+  // all: migration, replication, or both.
+  bool active() const { return enabled() || replication_enabled(); }
 };
 
 // One planned partition move.
@@ -82,6 +119,19 @@ struct PartitionMigration {
   uint32_t partition = 0;
   uint32_t from = 0;
   uint32_t to = 0;
+};
+
+// One planned replica creation (promote) or teardown (demote).
+struct ReplicaChange {
+  uint32_t partition = 0;
+  uint32_t server = 0;  // where the replica is created / destroyed
+};
+
+// One round's replication decisions. Demotions are executed before
+// promotions so a round never holds more replicas than the cap in flight.
+struct ReplicationPlan {
+  std::vector<ReplicaChange> promote;
+  std::vector<ReplicaChange> demote;
 };
 
 // partition -> owning storage server, consulted by StorageTier::ServerOf on
@@ -130,11 +180,54 @@ class PartitionMap {
   // Plain snapshot of all owners (planner working copy).
   std::vector<uint32_t> OwnerSnapshot() const;
 
+  // --- Replica sets (hot-partition replication) -------------------------
+  //
+  // Each partition carries a second packed atomic stamp describing its
+  // replica set: bits 0-23 hold up to kMaxReplicas 8-bit replica server
+  // ids, bits 24-25 the replica count, bits 32-63 a version that bumps on
+  // every add/remove. One acquire load hands a reader the WHOLE replica
+  // set consistently — no torn half-updated sets, and stamp comparison
+  // detects churn (even away-and-back) across two reads, exactly like the
+  // owner stamps.
+
+  // Most replicas a partition can hold beyond its primary (packing limit).
+  static constexpr uint32_t kMaxReplicas = 3;
+
+  static uint32_t StampReplicaCount(uint64_t stamp) {
+    return static_cast<uint32_t>((stamp >> 24) & 0x3u);
+  }
+  static uint32_t StampReplica(uint64_t stamp, uint32_t i) {
+    return static_cast<uint32_t>((stamp >> (8 * i)) & 0xffu);
+  }
+
+  uint64_t ReplicaStamp(uint32_t partition) const {
+    return replicas_[partition].load(std::memory_order_acquire);
+  }
+  uint64_t ReplicaStampOf(NodeId node) const {
+    return ReplicaStamp(PartitionOf(node));
+  }
+  uint32_t replica_count(uint32_t partition) const {
+    return StampReplicaCount(ReplicaStamp(partition));
+  }
+
+  // Adds / removes one replica server, bumping the stamp version. Written
+  // only by the engine's repartition round (single planner thread);
+  // concurrent readers see the old or the new set, never a torn one.
+  void AddReplica(uint32_t partition, uint32_t server);
+  void RemoveReplica(uint32_t partition, uint32_t server);
+
+  // Partitions currently holding at least one replica.
+  uint32_t ReplicatedPartitionCount() const;
+
+  // Plain snapshot of every partition's replica list (planner working copy).
+  std::vector<std::vector<uint32_t>> ReplicaSnapshot() const;
+
  private:
   uint32_t num_partitions_;
   uint32_t num_servers_;
   uint32_t hash_seed_;
   std::unique_ptr<std::atomic<uint64_t>[]> owners_;
+  std::unique_ptr<std::atomic<uint64_t>[]> replicas_;
 };
 
 // Per-partition access-rate monitor. Record() is called from the tier's
@@ -178,6 +271,19 @@ class PartitionMonitor {
 std::vector<PartitionMigration> PlanRepartition(const PartitionMap& map,
                                                 std::span<const double> rates,
                                                 const RepartitionConfig& config);
+
+// The replication controller: demote one replica from every replicated
+// partition that has gone cold (rate <= replica_demote_threshold x average
+// per-server load), then promote the top replication_top_k hottest
+// partitions (rate >= replica_hot_fraction x the average per-partition
+// rate, above the noise floor) to one extra replica each on the
+// least-loaded server not already
+// holding them. Pure, like PlanRepartition: the map is not mutated; server
+// loads account replicated partitions as their rate split evenly across
+// all holders (power-of-two-choices spreads reads near-evenly).
+ReplicationPlan PlanReplication(const PartitionMap& map,
+                                std::span<const double> rates,
+                                const RepartitionConfig& config);
 
 // Max/min ratio over per-server load sums (min clamped to 1); the
 // ClusterMetrics::storage_load_imbalance definition.

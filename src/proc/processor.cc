@@ -191,10 +191,12 @@ std::vector<AdjacencyPtr> CachedStorageSource::FetchBatch(std::span<const NodeId
   // inconsistent mid-sort (undefined behaviour). A batch formed from a
   // snapshot that lost the flip race is healed in CompleteOldest.
   if (!miss_positions.empty()) {
-    std::vector<std::pair<uint32_t, size_t>> misses;  // (owner snapshot, pos)
+    std::vector<std::pair<uint32_t, size_t>> misses;  // (server snapshot, pos)
     misses.reserve(miss_positions.size());
     for (const size_t pos : miss_positions) {
-      misses.emplace_back(storage_->ServerOf(nodes[pos]), pos);
+      // ReadServerOf: the owner, or under replication a p2c-chosen replica
+      // — so one scorching partition's misses fan across its replica set.
+      misses.emplace_back(storage_->ReadServerOf(nodes[pos]), pos);
     }
     std::sort(misses.begin(), misses.end());
 

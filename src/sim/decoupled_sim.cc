@@ -130,22 +130,30 @@ void DecoupledClusterSim::GossipTick(size_t total_queries) {
     fleet_->GossipRound();
   }
   if (repartition_enabled()) {
-    // Execute the round's migrations now (functionally instantaneous and
-    // race-free: the event loop is the only thread), then charge the copy
-    // cost to both ends of each move on the storage timeline — queries
-    // whose batches land on a migrating server queue behind the move.
+    // Execute the round's migrations and replica changes now (functionally
+    // instantaneous and race-free: the event loop is the only thread), then
+    // charge the copy cost on the storage timeline — queries whose batches
+    // land on an affected server queue behind the move. Migrations and
+    // replica promotions charge base + per-key copy cost to both ends; a
+    // demotion only drains and deletes on the replica server, so it is
+    // charged base cost there alone.
     const CostModel& cm = config_.cost;
     for (const StorageTier::MigrationResult& mig : RepartitionRound()) {
       if (mig.from == mig.to) {
         continue;
       }
+      const bool demote = mig.kind == StorageTier::MigrationResult::Kind::kDemote;
       const SimTimeUs cost =
-          cm.migration_base_us +
-          cm.migration_per_key_us * static_cast<double>(mig.keys_moved);
+          demote ? cm.migration_base_us
+                 : cm.migration_base_us +
+                       cm.migration_per_key_us * static_cast<double>(mig.keys_moved);
       for (const uint32_t s : {mig.from, mig.to}) {
         const SimTimeUs start = std::max(events_.now(), server_busy_until_[s]);
         server_busy_until_[s] = start + cost;
         repartition_stall_us_ += cost;
+        if (demote) {
+          break;  // only the replica server (`from`) pays for its teardown
+        }
       }
     }
   }

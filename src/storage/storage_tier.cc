@@ -109,11 +109,68 @@ uint32_t StorageTier::ServerOf(NodeId node) const {
   return hasher_.Place(node, static_cast<uint32_t>(servers_.size()));
 }
 
+uint32_t StorageTier::ReadServerOf(NodeId node) {
+  if (!replication_on_) {
+    return ServerOf(node);
+  }
+  const uint32_t q = partition_map_->PartitionOf(node);
+  const uint32_t owner = PartitionMap::StampOwner(partition_map_->OwnerStamp(q));
+  const uint64_t rep = partition_map_->ReplicaStamp(q);
+  const uint32_t count = PartitionMap::StampReplicaCount(rep);
+  if (count == 0) {
+    // Unreplicated partitions still feed the load signal: a server hot with
+    // primary-only traffic should lose p2c ties elsewhere.
+    read_load_[owner].fetch_add(1, std::memory_order_relaxed);
+    return owner;
+  }
+  uint32_t holders[1 + PartitionMap::kMaxReplicas];
+  holders[0] = owner;
+  for (uint32_t i = 0; i < count; ++i) {
+    holders[1 + i] = PartitionMap::StampReplica(rep, i);
+  }
+  // Power-of-two-choices: two hash-derived candidates from the holder set,
+  // the less-loaded one wins (ties to the lower server id). The read
+  // sequence is mixed into the hash so consecutive reads of one scorching
+  // key rotate their candidate pair over the whole holder set — a fixed
+  // per-key pair would pin a hot key to two servers forever, which loses to
+  // plain migration's time-multiplexing. Hash-derived — not RNG — so the
+  // sim's single-threaded runs stay deterministic.
+  const uint64_t seq = read_seq_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t h = Murmur3Hash64(node ^ (seq * 0x9e3779b97f4a7c15ull), 0x7e2c0a15u);
+  uint32_t pick = holders[h % (count + 1)];
+  const uint32_t alt = holders[(h >> 16) % (count + 1)];
+  if (alt != pick) {
+    const uint64_t load_pick = read_load_[pick].load(std::memory_order_relaxed);
+    const uint64_t load_alt = read_load_[alt].load(std::memory_order_relaxed);
+    if (load_alt < load_pick || (load_alt == load_pick && alt < pick)) {
+      pick = alt;
+    }
+  }
+  read_load_[pick].fetch_add(1, std::memory_order_relaxed);
+  if (pick != owner) {
+    replica_reads_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return pick;
+}
+
 AdjacencyPtr StorageTier::Get(NodeId node) {
   if (partition_monitor_ != nullptr) {
     partition_monitor_->Record(partition_map_->PartitionOf(node));
   }
-  return servers_[ServerOf(node)]->Get(node);
+  AdjacencyPtr value = servers_[ReadServerOf(node)]->Get(node);
+  if (value == nullptr && partition_map_ != nullptr) {
+    // Raced a migration or demotion flip: re-resolve through the current
+    // primary until the value lands or the stamp proves a genuine miss
+    // (same stamp-stable loop as ResolveMigratedMisses in src/proc/).
+    for (;;) {
+      const uint64_t stamp = partition_map_->OwnerStampOf(node);
+      value = PeekCurrent(node);
+      if (value != nullptr || partition_map_->OwnerStampOf(node) == stamp) {
+        break;
+      }
+    }
+  }
+  return value;
 }
 
 AdjacencyPtr StorageTier::PeekCurrent(NodeId node) {
@@ -154,6 +211,84 @@ void StorageTier::EnableRepartitioning(uint32_t partitions_per_server) {
       std::make_unique<PartitionMonitor>(partition_map_->num_partitions());
 }
 
+void StorageTier::EnableReplication() {
+  GROUTING_CHECK_MSG(partition_map_ != nullptr,
+                     "EnableReplication requires EnableRepartitioning first");
+  replication_on_ = true;
+  read_load_ = std::make_unique<std::atomic<uint64_t>[]>(servers_.size());
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    read_load_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+StorageTier::MigrationResult StorageTier::AddReplica(uint32_t partition,
+                                                     uint32_t server) {
+  GROUTING_CHECK(replication_on_);
+  GROUTING_CHECK(partition < partition_map_->num_partitions());
+  GROUTING_CHECK(server < servers_.size());
+  GROUTING_CHECK_MSG(partition < partition_keys_.size(),
+                     "replication requires the graph to be loaded after "
+                     "EnableRepartitioning");
+  MigrationResult result;
+  result.kind = MigrationResult::Kind::kPromote;
+  result.partition = partition;
+  result.from = partition_map_->owner(partition);
+  result.to = server;
+  GROUTING_CHECK_MSG(server != result.from,
+                     "the primary is not a replica target");
+  StorageServer& src = *servers_[result.from];
+  StorageServer& dst = *servers_[server];
+
+  // (1) Copy every key of the partition onto the replica while it is still
+  // invisible to readers. PeekBlob, not Get: replica fill is not workload
+  // traffic.
+  for (const NodeId key : partition_keys_[partition]) {
+    auto blob = src.PeekBlob(key);
+    if (!blob.has_value()) {
+      continue;  // not on the primary (deleted); nothing to copy
+    }
+    dst.Load(key, *blob);
+    ++result.keys_moved;
+    result.bytes_moved += blob->size();
+  }
+
+  // (2) Flip the replica into the map. No drain, no delete: adding a copy
+  // cannot invalidate any in-flight read.
+  partition_map_->AddReplica(partition, server);
+  return result;
+}
+
+StorageTier::MigrationResult StorageTier::RemoveReplica(uint32_t partition,
+                                                        uint32_t server) {
+  GROUTING_CHECK(replication_on_);
+  GROUTING_CHECK(partition < partition_map_->num_partitions());
+  GROUTING_CHECK(server < servers_.size());
+  MigrationResult result;
+  result.kind = MigrationResult::Kind::kDemote;
+  result.partition = partition;
+  result.from = server;
+  result.to = partition_map_->owner(partition);
+  GROUTING_CHECK_MSG(server != result.to, "cannot demote the primary");
+
+  // (1) Flip the replica out of the map: new ReadServerOf lookups stop
+  // routing here (PartitionMap::RemoveReplica checks membership).
+  partition_map_->RemoveReplica(partition, server);
+
+  // (2) Drain multiget handles opened against the replica before the flip
+  // — they still find the keys, the copies are not yet deleted.
+  StorageServer& rep = *servers_[server];
+  rep.DrainOpenBatches();
+
+  // (3) Delete the replica copies. A reader that raced the flip between
+  // ReadServerOf and StartMultiGet may miss here; the processor-side
+  // healing re-resolves through the primary, which holds every live key.
+  for (const NodeId key : partition_keys_[partition]) {
+    rep.Delete(key);
+    ++result.keys_moved;
+  }
+  return result;
+}
+
 StorageTier::MigrationResult StorageTier::MigratePartition(uint32_t partition,
                                                            uint32_t to) {
   GROUTING_CHECK(partition_map_ != nullptr);
@@ -165,6 +300,13 @@ StorageTier::MigrationResult StorageTier::MigratePartition(uint32_t partition,
   result.to = to;
   if (result.from == to) {
     return result;
+  }
+  // A migration moves the SINGLE copy of a partition, so any replicas are
+  // torn down first (planner rounds never migrate replicated partitions —
+  // this path serves direct callers such as the coherence model checker).
+  while (partition_map_->replica_count(partition) > 0) {
+    RemoveReplica(partition,
+                  PartitionMap::StampReplica(partition_map_->ReplicaStamp(partition), 0));
   }
   StorageServer& src = *servers_[result.from];
   StorageServer& dst = *servers_[to];

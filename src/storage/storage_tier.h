@@ -234,7 +234,19 @@ class StorageTier {
   size_t num_servers() const { return servers_.size(); }
   uint32_t ServerOf(NodeId node) const;
 
-  // Fetch through the tier (resolves the owning server).
+  // Read-path server choice. With replication off this IS ServerOf (same
+  // bits, no side effects). With replication on and the key's partition
+  // replicated, picks between two hash-derived candidates from
+  // {owner + replicas} by power-of-two-choices on the per-server read-load
+  // counters, bumps the winner's counter, and counts replica_reads when a
+  // non-primary wins. Used by Get and by CachedStorageSource when it groups
+  // misses into per-server multiget batches.
+  uint32_t ReadServerOf(NodeId node);
+
+  // Fetch through the tier (resolves a serving replica via ReadServerOf).
+  // Under repartitioning/replication a lookup that raced a flip may miss on
+  // the chosen server; it is then re-resolved stamp-stably through the
+  // primary, which always holds every live key of its partition.
   AdjacencyPtr Get(NodeId node);
 
   // Stats-free fetch through the current map: no serving stats, no monitor
@@ -271,8 +283,22 @@ class StorageTier {
   const PartitionMap* partition_map() const { return partition_map_.get(); }
   PartitionMonitor* partition_monitor() { return partition_monitor_.get(); }
 
-  // What one executed migration physically moved.
+  // Turns on replica-aware read routing (ReadServerOf) and the
+  // AddReplica/RemoveReplica executors. Requires EnableRepartitioning
+  // first — replicas are tracked per virtual partition in the same map.
+  void EnableReplication();
+  bool replication_enabled() const { return replication_on_; }
+
+  // Reads served by a non-primary replica (p2c picked a replica over the
+  // owner). 0 with replication off.
+  uint64_t replica_reads() const {
+    return replica_reads_.load(std::memory_order_relaxed);
+  }
+
+  // What one executed migration / promotion / demotion physically moved.
   struct MigrationResult {
+    enum class Kind { kMigrate, kPromote, kDemote };
+    Kind kind = Kind::kMigrate;
     uint32_t partition = 0;
     uint32_t from = 0;
     uint32_t to = 0;
@@ -290,6 +316,22 @@ class StorageTier {
   // misses through the tier (ResolveMigratedMisses in src/proc/).
   MigrationResult MigratePartition(uint32_t partition, uint32_t to);
 
+  // Creates a replica of one partition on `server`: copy every key of the
+  // partition to the replica, THEN flip the replica set into the map — so
+  // the moment a reader can route to the replica, the replica already holds
+  // the data. No drain is needed to add capacity. kind = kPromote;
+  // from = the primary copied from, to = the new replica server.
+  MigrationResult AddReplica(uint32_t partition, uint32_t server);
+
+  // Tears one replica down, exactly-once for concurrent readers: (1) flip
+  // the replica out of the map so new lookups stop routing to it, (2)
+  // drain multiget handles opened against it before the flip (the copies
+  // are still live), (3) delete the copies. A reader that raced the flip
+  // between ReadServerOf and StartMultiGet may miss; the processor-side
+  // healing re-resolves through the primary, which always holds the keys.
+  // kind = kDemote; from = the replica server torn down, to = the primary.
+  MigrationResult RemoveReplica(uint32_t partition, uint32_t server);
+
   // Cumulative per-server served get counts (the storage_load_imbalance
   // numerator/denominator).
   std::vector<uint64_t> GetRequestsPerServer() const;
@@ -306,6 +348,15 @@ class StorageTier {
   // Installed by EnableRepartitioning; null = classic static placement.
   std::unique_ptr<PartitionMap> partition_map_;
   std::unique_ptr<PartitionMonitor> partition_monitor_;
+  // Replica-aware read routing (EnableReplication). read_load_ is the p2c
+  // load signal: one relaxed bump per ReadServerOf resolution, approximate
+  // by design (staleness just makes p2c pick the second candidate).
+  bool replication_on_ = false;
+  std::unique_ptr<std::atomic<uint64_t>[]> read_load_;
+  std::atomic<uint64_t> replica_reads_{0};
+  // Read-sequence counter mixed into the p2c candidate hash so a hot key's
+  // candidate pair rotates over its holder set instead of pinning.
+  std::atomic<uint64_t> read_seq_{0};
   // Per-partition key lists, built once at LoadGraph when repartitioning is
   // on. Partition membership is a pure hash of the key and the tier's key
   // population is fixed after load (only migrations move keys between

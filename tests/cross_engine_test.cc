@@ -195,6 +195,79 @@ TEST_F(CrossEngineTest, RepartitioningParityForEveryScheme) {
   }
 }
 
+TEST_F(CrossEngineTest, ReplicationParityForEveryScheme) {
+  // Hot-partition replication changes WHERE reads are served (p2c across
+  // the holder set) and WHEN copies move, never WHAT is answered. Three-way
+  // check per scheme: sim-with-replication vs threaded-with-replication
+  // (cross-engine parity under real replica churn), and sim-with vs
+  // sim-without (turning replication on is answer-invariant). A tiny cache
+  // keeps the hot keys hitting storage so promotion actually fires.
+  const Graph& g = env_->graph();
+  const auto queries = env_->SkewedWorkload(/*sessions=*/6, /*queries=*/500,
+                                            /*zipf_s=*/1.5, /*h=*/1);
+
+  for (const RoutingSchemeKind scheme : kAllSchemes) {
+    SCOPED_TRACE(RoutingSchemeKindName(scheme));
+    RunOptions opts = SmallRun(scheme);
+    opts.storage_servers = 4;
+    opts.cache_bytes = 8 << 10;
+    opts.max_inflight_batches = 3;
+    opts.repartition_threshold = 1.1;
+    opts.repartition_cap = 4;
+    opts.partitions_per_server = 8;
+    opts.replication_top_k = 4;
+    opts.max_replicas_per_partition = 3;
+    opts.replica_demote_threshold = 0.05;
+    opts.gossip_period_us = 50.0;
+    opts.arrival_gap_us = 1.0;
+    const ClusterConfig config = env_->MakeClusterConfig(opts);
+
+    RunOptions off = opts;
+    off.replication_top_k = 0;
+
+    auto sim = MakeClusterEngine(EngineKind::kSimulated, g, config,
+                                 env_->MakeStrategy(opts));
+    auto threaded = MakeClusterEngine(EngineKind::kThreaded, g, config,
+                                      env_->MakeStrategy(opts));
+    auto sim_off = MakeClusterEngine(EngineKind::kSimulated, g,
+                                     env_->MakeClusterConfig(off),
+                                     env_->MakeStrategy(off));
+    const ClusterMetrics sim_m = sim->Run(queries);
+    const ClusterMetrics thr_m = threaded->Run(queries);
+    const ClusterMetrics off_m = sim_off->Run(queries);
+
+    ASSERT_EQ(sim_m.queries, queries.size());
+    ASSERT_EQ(thr_m.queries, queries.size());
+    ASSERT_EQ(off_m.queries, queries.size());
+    // The path must actually be exercised on the deterministic engine.
+    EXPECT_GT(sim_m.partitions_replicated, 0u);
+    EXPECT_GT(sim_m.replica_reads, 0u);
+    EXPECT_EQ(off_m.partitions_replicated, 0u);
+    EXPECT_EQ(off_m.replica_reads, 0u);
+
+    const auto sim_answers = SortedAnswers(*sim);
+    const auto thr_answers = SortedAnswers(*threaded);
+    const auto off_answers = SortedAnswers(*sim_off);
+    ASSERT_EQ(sim_answers.size(), thr_answers.size());
+    ASSERT_EQ(sim_answers.size(), off_answers.size());
+    for (size_t i = 0; i < sim_answers.size(); ++i) {
+      const AnsweredQuery& a = sim_answers[i];
+      const AnsweredQuery& b = thr_answers[i];
+      const AnsweredQuery& c = off_answers[i];
+      ASSERT_EQ(a.query_id, b.query_id) << "answer " << i;
+      ASSERT_EQ(a.query_id, c.query_id) << "answer " << i;
+      EXPECT_EQ(a.result.aggregate, b.result.aggregate) << "query " << a.query_id;
+      EXPECT_EQ(a.result.walk_end, b.result.walk_end) << "query " << a.query_id;
+      EXPECT_EQ(a.result.reachable, b.result.reachable) << "query " << a.query_id;
+      EXPECT_EQ(a.result.distance, b.result.distance) << "query " << a.query_id;
+      EXPECT_EQ(a.result.aggregate, c.result.aggregate) << "query " << a.query_id;
+      EXPECT_EQ(a.result.walk_end, c.result.walk_end) << "query " << a.query_id;
+      EXPECT_EQ(a.result.reachable, c.result.reachable) << "query " << a.query_id;
+      EXPECT_EQ(a.result.distance, c.result.distance) << "query " << a.query_id;
+    }
+  }
+}
+
 TEST_F(CrossEngineTest, AsyncWindowParityForEveryScheme) {
   // The async storage pipeline (max_inflight_batches > 1) reshapes WHEN
   // fetches happen — per-batch completion events in the sim, per-processor

@@ -1,0 +1,743 @@
+// Hot-partition replication (PartitionMap replica stamps + PlanReplication
+// + StorageTier::AddReplica/RemoveReplica/ReadServerOf): packed replica-set
+// semantics, the promotion/demotion controller, power-of-two-choices read
+// fan-out, and — the coherence co-headline — a small model checker that
+// enumerates promote/demote/migrate/read interleavings against a single-map
+// reference, a threaded replica-churn storm racing async multiget windows,
+// and full-engine exactly-once + acceptance-shape runs. Run under TSan and
+// ASan/UBSan in CI.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/core/grouting.h"
+
+namespace grouting {
+namespace {
+
+Graph TestGraph(uint32_t nodes = 400, uint64_t seed = 7) {
+  return GenerateBarabasiAlbert(nodes, /*edges_per_node=*/4, seed);
+}
+
+// ---------------------------------------------------------------------------
+// PartitionMap replica stamps
+// ---------------------------------------------------------------------------
+
+TEST(ReplicaStampTest, AddRemoveRoundTripsAndBumpsVersions) {
+  PartitionMap map(/*num_partitions=*/8, /*num_servers=*/4, /*hash_seed=*/1);
+  const uint32_t q = 3;
+  EXPECT_EQ(map.replica_count(q), 0u);
+  EXPECT_EQ(map.ReplicatedPartitionCount(), 0u);
+  const uint32_t owner = map.owner(q);
+  const uint32_t r1 = (owner + 1) % 4;
+  const uint32_t r2 = (owner + 2) % 4;
+
+  const uint64_t s0 = map.ReplicaStamp(q);
+  map.AddReplica(q, r1);
+  const uint64_t s1 = map.ReplicaStamp(q);
+  EXPECT_NE(s0, s1) << "adding a replica must bump the stamp";
+  EXPECT_EQ(map.replica_count(q), 1u);
+  EXPECT_EQ(PartitionMap::StampReplica(s1, 0), r1);
+
+  map.AddReplica(q, r2);
+  const uint64_t s2 = map.ReplicaStamp(q);
+  EXPECT_EQ(map.replica_count(q), 2u);
+  EXPECT_EQ(PartitionMap::StampReplica(s2, 0), r1);
+  EXPECT_EQ(PartitionMap::StampReplica(s2, 1), r2);
+  EXPECT_EQ(map.ReplicatedPartitionCount(), 1u);
+
+  // Removing the FIRST replica compacts the set; the version keeps rising,
+  // so an add-remove-add cycle never reproduces an old stamp (ABA).
+  map.RemoveReplica(q, r1);
+  const uint64_t s3 = map.ReplicaStamp(q);
+  EXPECT_EQ(map.replica_count(q), 1u);
+  EXPECT_EQ(PartitionMap::StampReplica(s3, 0), r2);
+  map.AddReplica(q, r1);
+  EXPECT_NE(map.ReplicaStamp(q), s2) << "same set, but a later version";
+
+  const auto snapshot = map.ReplicaSnapshot();
+  EXPECT_EQ(snapshot[q], (std::vector<uint32_t>{r2, r1}));
+  for (uint32_t other = 0; other < map.num_partitions(); ++other) {
+    if (other != q) {
+      EXPECT_TRUE(snapshot[other].empty());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PlanReplication controller
+// ---------------------------------------------------------------------------
+
+class ReplicationPlannerTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kServers = 4;
+  static constexpr uint32_t kPartitionsPerServer = 4;
+
+  ReplicationPlannerTest()
+      : map_(kServers * kPartitionsPerServer, kServers, /*seed=*/3) {}
+
+  RepartitionConfig Config(uint32_t top_k = 2) {
+    RepartitionConfig config;
+    config.partitions_per_server = kPartitionsPerServer;
+    config.replication_top_k = top_k;
+    return config;
+  }
+
+  // One scorching partition (initial owner 0), everything else lukewarm.
+  std::vector<double> OneHotRates(uint32_t hot_q = 0, double hot = 1000.0) {
+    std::vector<double> rates(map_.num_partitions(), 1.0);
+    rates[hot_q] = hot;
+    return rates;
+  }
+
+  PartitionMap map_;
+};
+
+TEST_F(ReplicationPlannerTest, DisabledConfigPlansNothing) {
+  const ReplicationPlan plan =
+      PlanReplication(map_, OneHotRates(), Config(/*top_k=*/0));
+  EXPECT_TRUE(plan.promote.empty());
+  EXPECT_TRUE(plan.demote.empty());
+}
+
+TEST_F(ReplicationPlannerTest, PromotesTheHottestPartitionOffItsOwner) {
+  const ReplicationPlan plan = PlanReplication(map_, OneHotRates(), Config(1));
+  ASSERT_EQ(plan.promote.size(), 1u);
+  EXPECT_EQ(plan.promote[0].partition, 0u);
+  EXPECT_NE(plan.promote[0].server, map_.owner(0)) << "replica != primary";
+  EXPECT_TRUE(plan.demote.empty());
+}
+
+TEST_F(ReplicationPlannerTest, RespectsTopKAndMaxReplicas) {
+  std::vector<double> rates(map_.num_partitions(), 1.0);
+  rates[0] = 900.0;
+  rates[1] = 800.0;
+  rates[2] = 700.0;
+  EXPECT_EQ(PlanReplication(map_, rates, Config(2)).promote.size(), 2u);
+
+  // A partition already at the replica cap is skipped, not re-promoted.
+  RepartitionConfig capped = Config(4);
+  capped.max_replicas_per_partition = 1;
+  map_.AddReplica(0, (map_.owner(0) + 1) % kServers);
+  const ReplicationPlan plan = PlanReplication(map_, rates, capped);
+  for (const ReplicaChange& p : plan.promote) {
+    EXPECT_NE(p.partition, 0u) << "partition 0 is at max_replicas already";
+  }
+}
+
+TEST_F(ReplicationPlannerTest, NoiseFloorSuppressesTinyWorkloads) {
+  // Hottest partition at 2 recorded accesses: below noise_sigmas (3), so a
+  // near-idle cluster never replicates sampling jitter.
+  std::vector<double> rates(map_.num_partitions(), 0.0);
+  rates[5] = 2.0;
+  EXPECT_TRUE(PlanReplication(map_, rates, Config(2)).promote.empty());
+}
+
+TEST_F(ReplicationPlannerTest, DemotesColdReplicatedPartitions) {
+  const uint32_t q = 0;
+  const uint32_t replica = (map_.owner(q) + 1) % kServers;
+  map_.AddReplica(q, replica);
+
+  // q has gone stone cold while partition 2 carries all the heat.
+  std::vector<double> rates(map_.num_partitions(), 1.0);
+  rates[q] = 0.0;
+  rates[2] = 1000.0;
+  const ReplicationPlan plan = PlanReplication(map_, rates, Config(1));
+  ASSERT_EQ(plan.demote.size(), 1u);
+  EXPECT_EQ(plan.demote[0].partition, q);
+  EXPECT_EQ(plan.demote[0].server, replica);
+
+  // A still-hot replicated partition is NOT demoted.
+  rates[q] = 1000.0;
+  EXPECT_TRUE(PlanReplication(map_, rates, Config(1)).demote.empty());
+}
+
+TEST_F(ReplicationPlannerTest, IdleClusterReclaimsAllReplicas) {
+  map_.AddReplica(0, (map_.owner(0) + 1) % kServers);
+  map_.AddReplica(5, (map_.owner(5) + 1) % kServers);
+  const std::vector<double> idle(map_.num_partitions(), 0.0);
+  const ReplicationPlan plan = PlanReplication(map_, idle, Config(2));
+  EXPECT_EQ(plan.demote.size(), 2u);
+  EXPECT_TRUE(plan.promote.empty());
+}
+
+TEST_F(ReplicationPlannerTest, DoesNotMutateTheMap) {
+  map_.AddReplica(0, (map_.owner(0) + 1) % kServers);
+  const auto owners = map_.OwnerSnapshot();
+  const auto replicas = map_.ReplicaSnapshot();
+  PlanReplication(map_, OneHotRates(), Config(2));
+  EXPECT_EQ(map_.OwnerSnapshot(), owners);
+  EXPECT_EQ(map_.ReplicaSnapshot(), replicas);
+}
+
+TEST_F(ReplicationPlannerTest, MigrationPlannerSkipsReplicatedVictims) {
+  // Pile heat on server 0 across its partitions, then replicate one of the
+  // hot partitions: PlanRepartition must only ever move the others.
+  std::vector<double> rates(map_.num_partitions(), 1.0);
+  for (uint32_t q = 0; q < map_.num_partitions(); q += kServers) {
+    rates[q] = 250.0;
+  }
+  map_.AddReplica(0, 1);
+
+  RepartitionConfig config;
+  config.threshold = 1.2;
+  config.migration_cap = 8;
+  config.partitions_per_server = kPartitionsPerServer;
+  const auto plan = PlanRepartition(map_, rates, config);
+  ASSERT_FALSE(plan.empty());
+  for (const PartitionMigration& mig : plan) {
+    EXPECT_NE(mig.partition, 0u) << "replicated partitions are not victims";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// StorageTier replica executors + p2c read routing
+// ---------------------------------------------------------------------------
+
+TEST(StorageTierReplicationTest, AddReplicaCopiesKeysAndFansReads) {
+  const Graph g = TestGraph();
+  StorageTier tier(4);
+  tier.EnableRepartitioning(8);
+  tier.EnableReplication();
+  tier.LoadGraph(g);
+  const PartitionMap& map = *tier.partition_map();
+  const uint32_t q = map.PartitionOf(0);
+  const uint32_t owner = map.owner(q);
+  const uint32_t replica = (owner + 1) % 4;
+
+  const auto result = tier.AddReplica(q, replica);
+  EXPECT_EQ(result.kind, StorageTier::MigrationResult::Kind::kPromote);
+  EXPECT_EQ(result.from, owner);
+  EXPECT_EQ(result.to, replica);
+  EXPECT_GT(result.keys_moved, 0u);
+  EXPECT_GT(result.bytes_moved, 0u);
+
+  uint64_t keys = 0;
+  bool replica_hit = false;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (map.PartitionOf(u) != q) {
+      continue;
+    }
+    ++keys;
+    // Both copies live; the owner still resolves ServerOf (primary routing).
+    ASSERT_TRUE(tier.server(owner).store().Contains(u));
+    ASSERT_TRUE(tier.server(replica).store().Contains(u));
+    ASSERT_EQ(tier.ServerOf(u), owner);
+    const uint32_t read_server = tier.ReadServerOf(u);
+    ASSERT_TRUE(read_server == owner || read_server == replica)
+        << "read routed outside the holder set for key " << u;
+    replica_hit |= read_server == replica;
+    ASSERT_NE(tier.Get(u), nullptr);
+  }
+  EXPECT_EQ(keys, result.keys_moved);
+  EXPECT_TRUE(replica_hit) << "p2c never used the replica across " << keys
+                           << " keys";
+  EXPECT_GT(tier.replica_reads(), 0u);
+}
+
+TEST(StorageTierReplicationTest, RemoveReplicaRestoresPrimaryOnlyLayout) {
+  const Graph g = TestGraph();
+  StorageTier tier(4);
+  tier.EnableRepartitioning(8);
+  tier.EnableReplication();
+  tier.LoadGraph(g);
+  const PartitionMap& map = *tier.partition_map();
+  const uint32_t q = map.PartitionOf(0);
+  const uint32_t owner = map.owner(q);
+  const uint32_t replica = (owner + 2) % 4;
+  const uint64_t replica_entries_before = tier.server(replica).store().entry_count();
+
+  tier.AddReplica(q, replica);
+  const auto result = tier.RemoveReplica(q, replica);
+  EXPECT_EQ(result.kind, StorageTier::MigrationResult::Kind::kDemote);
+  EXPECT_EQ(result.from, replica);
+  EXPECT_EQ(result.to, owner);
+  EXPECT_EQ(map.replica_count(q), 0u);
+  EXPECT_EQ(tier.server(replica).store().entry_count(), replica_entries_before);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (map.PartitionOf(u) != q) {
+      continue;
+    }
+    ASSERT_TRUE(tier.server(owner).store().Contains(u));
+    ASSERT_EQ(tier.ReadServerOf(u), owner);
+    ASSERT_NE(tier.Get(u), nullptr);
+  }
+}
+
+TEST(StorageTierReplicationTest, ReadServerOfIsServerOfWhenReplicationOff) {
+  const Graph g = TestGraph();
+  StorageTier tier(4);
+  tier.EnableRepartitioning(8);
+  tier.LoadGraph(g);
+  EXPECT_FALSE(tier.replication_enabled());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    ASSERT_EQ(tier.ReadServerOf(u), tier.ServerOf(u)) << "node " << u;
+  }
+  EXPECT_EQ(tier.replica_reads(), 0u);
+}
+
+// A demotion must wait for multiget handles opened against the replica:
+// flip-out first, then drain, then delete — so the pre-flip batch below
+// still finds every key.
+TEST(StorageTierReplicationTest, DemotionDrainHoldsDeleteForInflightHandles) {
+  const Graph g = TestGraph();
+  StorageTier tier(4);
+  tier.EnableRepartitioning(8);
+  tier.EnableReplication();
+  tier.LoadGraph(g);
+  const PartitionMap& map = *tier.partition_map();
+  const uint32_t q = map.PartitionOf(0);
+  const uint32_t owner = map.owner(q);
+  const uint32_t replica = (owner + 1) % 4;
+  tier.AddReplica(q, replica);
+
+  std::vector<NodeId> keys;
+  for (NodeId u = 0; u < g.num_nodes() && keys.size() < 8; ++u) {
+    if (map.PartitionOf(u) == q) {
+      keys.push_back(u);
+    }
+  }
+  ASSERT_FALSE(keys.empty());
+
+  auto handle = tier.StartMultiGet(replica, keys);
+  std::atomic<bool> demoted{false};
+  std::thread demoter([&] {
+    tier.RemoveReplica(q, replica);
+    demoted.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(demoted.load(std::memory_order_acquire));
+
+  handle->Execute();
+  demoter.join();
+  const auto& values = handle->Wait();
+  ASSERT_EQ(values.size(), keys.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_NE(values[i], nullptr) << "key " << keys[i] << " lost in demotion";
+  }
+}
+
+// The post-flip race: a batch opened against the replica AFTER the demotion
+// deleted its copies misses, and heals through the primary (which always
+// holds every live key of its partition) via ResolveMigratedMisses.
+TEST(StorageTierReplicationTest, ResolveMigratedMissesHealsDemotionRaces) {
+  const Graph g = TestGraph();
+  StorageTier tier(4);
+  tier.EnableRepartitioning(8);
+  tier.EnableReplication();
+  tier.LoadGraph(g);
+  const PartitionMap& map = *tier.partition_map();
+  const uint32_t q = map.PartitionOf(0);
+  const uint32_t owner = map.owner(q);
+  const uint32_t replica = (owner + 1) % 4;
+
+  std::vector<NodeId> keys;
+  for (NodeId u = 0; u < g.num_nodes() && keys.size() < 6; ++u) {
+    if (map.PartitionOf(u) == q) {
+      keys.push_back(u);
+    }
+  }
+  ASSERT_FALSE(keys.empty());
+  tier.AddReplica(q, replica);
+  tier.RemoveReplica(q, replica);
+
+  // Stale read: the batch still targets the demoted replica.
+  auto handle = tier.StartMultiGet(replica, keys);
+  handle->Execute();
+  std::vector<AdjacencyPtr> values = handle->Wait();
+  for (const auto& v : values) {
+    ASSERT_EQ(v, nullptr) << "the replica copies should be gone";
+  }
+  const size_t resolved = ResolveMigratedMisses(&tier, keys, &values);
+  EXPECT_EQ(resolved, keys.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_NE(values[i], nullptr) << "key " << keys[i];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Model checker: enumerated promote/demote/migrate/read interleavings
+// against a single-map reference
+// ---------------------------------------------------------------------------
+
+// Reference model: one partition is exactly {owner} ∪ replicas, nothing
+// else. The checker applies every length-3 sequence over the full op
+// alphabet (two tracked partitions x promote/demote/migrate to each server)
+// cumulatively to one tier, validating after EVERY op that the live map,
+// the physical stores, Get, and ReadServerOf all agree with the model.
+TEST(ReplicationModelCheckTest, EnumeratedOpSequencesMatchSingleMapReference) {
+  const Graph g = TestGraph(/*nodes=*/360, /*seed=*/11);
+  constexpr uint32_t kServers = 3;
+  StorageTier tier(kServers);
+  tier.EnableRepartitioning(/*partitions_per_server=*/8);
+  tier.EnableReplication();
+  tier.LoadGraph(g);
+  const PartitionMap& map = *tier.partition_map();
+
+  const uint32_t qa = map.PartitionOf(0);
+  uint32_t qb = qa;
+  for (NodeId u = 1; qb == qa; ++u) {
+    qb = map.PartitionOf(u);
+  }
+  const std::array<uint32_t, 2> tracked = {qa, qb};
+
+  struct RefState {
+    uint32_t owner;
+    std::vector<uint32_t> replicas;
+    bool Holds(uint32_t s) const {
+      return s == owner || std::find(replicas.begin(), replicas.end(), s) !=
+                               replicas.end();
+    }
+  };
+  std::array<RefState, 2> model = {RefState{map.owner(qa), {}},
+                                   RefState{map.owner(qb), {}}};
+
+  std::array<std::vector<NodeId>, 2> keys;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (size_t t = 0; t < tracked.size(); ++t) {
+      if (map.PartitionOf(u) == tracked[t]) {
+        keys[t].push_back(u);
+      }
+    }
+  }
+  ASSERT_FALSE(keys[0].empty());
+  ASSERT_FALSE(keys[1].empty());
+
+  enum class OpKind { kPromote, kDemote, kMigrate };
+  struct Op {
+    OpKind kind;
+    size_t t;  // tracked-partition index
+    uint32_t server;
+  };
+  std::vector<Op> alphabet;
+  for (size_t t = 0; t < tracked.size(); ++t) {
+    for (uint32_t s = 0; s < kServers; ++s) {
+      alphabet.push_back({OpKind::kPromote, t, s});
+      alphabet.push_back({OpKind::kDemote, t, s});
+      alphabet.push_back({OpKind::kMigrate, t, s});
+    }
+  }
+
+  const auto apply = [&](const Op& op) {
+    RefState& ref = model[op.t];
+    const uint32_t q = tracked[op.t];
+    switch (op.kind) {
+      case OpKind::kPromote:
+        if (ref.Holds(op.server) ||
+            ref.replicas.size() >= PartitionMap::kMaxReplicas) {
+          return;  // illegal in this state; enumeration skips it
+        }
+        tier.AddReplica(q, op.server);
+        ref.replicas.push_back(op.server);
+        return;
+      case OpKind::kDemote: {
+        auto it = std::find(ref.replicas.begin(), ref.replicas.end(), op.server);
+        if (it == ref.replicas.end()) {
+          return;
+        }
+        tier.RemoveReplica(q, op.server);
+        ref.replicas.erase(it);
+        return;
+      }
+      case OpKind::kMigrate:
+        if (op.server == ref.owner) {
+          return;  // MigratePartition treats from == to as a no-op
+        }
+        // A migration collapses the holder set to exactly {server}: the
+        // tier demotes any replicas first, then moves the single copy.
+        tier.MigratePartition(q, op.server);
+        ref.owner = op.server;
+        ref.replicas.clear();
+        return;
+    }
+  };
+
+  uint64_t verified_ops = 0;
+  const auto verify = [&]() {
+    for (size_t t = 0; t < tracked.size(); ++t) {
+      const RefState& ref = model[t];
+      const uint32_t q = tracked[t];
+      ASSERT_EQ(map.owner(q), ref.owner);
+      std::vector<uint32_t> live = map.ReplicaSnapshot()[q];
+      std::vector<uint32_t> want = ref.replicas;
+      std::sort(live.begin(), live.end());
+      std::sort(want.begin(), want.end());
+      ASSERT_EQ(live, want);
+      for (const NodeId u : keys[t]) {
+        for (uint32_t s = 0; s < kServers; ++s) {
+          ASSERT_EQ(tier.server(s).store().Contains(u), ref.Holds(s))
+              << "key " << u << " on server " << s;
+        }
+        const uint32_t read_server = tier.ReadServerOf(u);
+        ASSERT_TRUE(ref.Holds(read_server))
+            << "read of " << u << " routed to non-holder " << read_server;
+        const AdjacencyPtr v = tier.Get(u);
+        ASSERT_NE(v, nullptr);
+        ASSERT_EQ(v->out.size(), g.OutDegree(u)) << "wrong value for " << u;
+      }
+    }
+    ++verified_ops;
+  };
+
+  // Every length-3 op sequence, applied cumulatively: ~6k schedules whose
+  // start states are themselves products of all earlier schedules, covering
+  // promote-on-promoted, demote-mid-fanout, migrate-over-replicas, ...
+  for (const Op& a : alphabet) {
+    for (const Op& b : alphabet) {
+      for (const Op& c : alphabet) {
+        for (const Op& op : {a, b, c}) {
+          apply(op);
+          verify();
+          if (::testing::Test::HasFatalFailure()) {
+            return;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_EQ(verified_ops, 3u * alphabet.size() * alphabet.size() * alphabet.size());
+}
+
+// ---------------------------------------------------------------------------
+// Threaded replica-churn storm (run under TSan in CI)
+// ---------------------------------------------------------------------------
+
+// FetchBatch slams a fixed key set through CachedStorageSource (async
+// window 2) while a churn thread promotes, demotes and migrates the keys'
+// partitions in a loop. Whatever the interleaving — batch routed to a
+// replica that is torn down before service, or formed mid-promotion —
+// every batch must come back complete.
+TEST(ReplicationStormTest, ReplicaChurnNeverLosesAValue) {
+  const Graph g = TestGraph(/*nodes=*/600);
+  StorageTier tier(4);
+  tier.EnableRepartitioning(8);
+  tier.EnableReplication();
+  tier.LoadGraph(g);
+  const PartitionMap& map = *tier.partition_map();
+
+  std::vector<NodeId> keys;
+  for (NodeId u = 0; u < 64; ++u) {
+    keys.push_back(u);
+  }
+  const uint32_t p0 = map.PartitionOf(keys[0]);
+  const uint32_t p1 = map.PartitionOf(keys[1]);
+
+  // The churner is the only map mutator (the planner-thread discipline), so
+  // it may consult the map to keep every op legal.
+  std::atomic<bool> stop{false};
+  std::thread churner([&] {
+    uint32_t round = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const uint32_t q : {p0, p1}) {
+        for (uint32_t s = 0; s < 4; ++s) {
+          if (s != map.owner(q) && map.replica_count(q) < PartitionMap::kMaxReplicas) {
+            tier.AddReplica(q, s);
+          }
+        }
+        while (map.replica_count(q) > 0) {
+          tier.RemoveReplica(
+              q, PartitionMap::StampReplica(map.ReplicaStamp(q), 0));
+        }
+      }
+      tier.MigratePartition(p0, round % 4);
+      tier.MigratePartition(p1, (round + 2) % 4);
+      ++round;
+    }
+  });
+
+  CachedStorageSource source(&tier, /*cache=*/nullptr, /*max_inflight_batches=*/2);
+  for (int iter = 0; iter < 300; ++iter) {
+    const auto values = source.FetchBatch(keys);
+    ASSERT_EQ(values.size(), keys.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      ASSERT_NE(values[i], nullptr)
+          << "iteration " << iter << " lost key " << keys[i];
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  churner.join();
+}
+
+// ---------------------------------------------------------------------------
+// Full-engine runs
+// ---------------------------------------------------------------------------
+
+// End-to-end exactly-once: a threaded run with an async multiget window and
+// aggressive replication + migration churn racing it must answer every
+// query once, identical to a deterministic static-placement sim reference.
+TEST(ReplicationEngineTest, ThreadedAsyncRunIsExactlyOnceUnderReplication) {
+  ExperimentEnv env(DatasetId::kWebGraphLike, /*scale=*/0.1, /*seed=*/23);
+  const auto queries = env.SkewedWorkload(/*sessions=*/32, /*queries=*/400,
+                                          /*zipf_s=*/1.4);
+
+  RunOptions opts;
+  opts.scheme = RoutingSchemeKind::kHash;
+  opts.processors = 3;
+  opts.storage_servers = 4;
+  opts.cache_bytes = 64 << 10;
+  opts.max_inflight_batches = 4;
+  opts.repartition_threshold = 1.05;
+  opts.repartition_cap = 8;
+  opts.partitions_per_server = 8;
+  opts.replication_top_k = 4;
+  opts.replica_demote_threshold = 0.4;  // churn: demotions fire mid-run too
+  opts.max_replicas_per_partition = 2;
+  opts.gossip_period_us = 50.0;
+  opts.arrival_gap_us = 2.0;
+
+  RunOptions ref_opts = opts;
+  ref_opts.repartition_threshold = 0.0;
+  ref_opts.replication_top_k = 0;
+  ref_opts.max_inflight_batches = 1;
+
+  const Graph& g = env.graph();
+  auto threaded = MakeClusterEngine(EngineKind::kThreaded, g,
+                                    env.MakeClusterConfig(opts), env.MakeStrategy(opts));
+  auto reference =
+      MakeClusterEngine(EngineKind::kSimulated, g, env.MakeClusterConfig(ref_opts),
+                        env.MakeStrategy(ref_opts));
+  const ClusterMetrics m = threaded->Run(queries);
+  reference->Run(queries);
+
+  ASSERT_EQ(m.queries, queries.size());
+
+  auto sorted = [](const ClusterEngine& e) {
+    std::vector<AnsweredQuery> answers = e.answers();
+    std::sort(answers.begin(), answers.end(),
+              [](const AnsweredQuery& a, const AnsweredQuery& b) {
+                return a.query_id < b.query_id;
+              });
+    return answers;
+  };
+  const auto got = sorted(*threaded);
+  const auto want = sorted(*reference);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].query_id, want[i].query_id) << "answer " << i;
+    EXPECT_EQ(got[i].result.aggregate, want[i].result.aggregate)
+        << "query " << got[i].query_id;
+    EXPECT_EQ(got[i].result.walk_end, want[i].result.walk_end)
+        << "query " << got[i].query_id;
+    EXPECT_EQ(got[i].result.reachable, want[i].result.reachable)
+        << "query " << got[i].query_id;
+    EXPECT_EQ(got[i].result.distance, want[i].result.distance)
+        << "query " << got[i].query_id;
+  }
+}
+
+// The acceptance shape, pinned deterministically on the simulated engine:
+// at zipf 1.4 a few sessions re-read one fixed hot key set forever, and
+// migration alone plateaus — relocating a hot partition only moves its
+// heat, it cannot split it. Replication must strictly improve both the
+// per-server load imbalance and the p99 response. The no-cache scheme
+// keeps the hot traffic on the storage tier (a processor cache would
+// absorb exactly the keys replication spreads).
+TEST(ReplicationEngineTest, SimReplicationBeatsMigrationOnlyAtHighSkew) {
+  ExperimentEnv env(DatasetId::kWebGraphLike, /*scale=*/0.1, /*seed=*/31);
+  const auto queries = env.SkewedWorkload(/*sessions=*/4, /*queries=*/4800,
+                                          /*zipf_s=*/1.4, /*h=*/1);
+
+  RunOptions opts;
+  opts.scheme = RoutingSchemeKind::kNoCache;
+  opts.processors = 8;
+  opts.storage_servers = 4;
+  opts.max_inflight_batches = 2;
+  opts.repartition_threshold = 1.15;
+  opts.repartition_cap = 4;
+  opts.partitions_per_server = 8;
+  opts.gossip_period_us = 100.0;
+  opts.arrival_gap_us = 0.5;
+
+  RunOptions rep = opts;
+  rep.replication_top_k = 4;
+  rep.max_replicas_per_partition = 3;
+  rep.replica_demote_threshold = 0.05;
+
+  const ClusterMetrics mig_m = env.Run(EngineKind::kSimulated, opts, queries);
+  const ClusterMetrics rep_m = env.Run(EngineKind::kSimulated, rep, queries);
+
+  EXPECT_EQ(mig_m.partitions_replicated, 0u);
+  EXPECT_EQ(mig_m.replica_reads, 0u);
+  EXPECT_GT(rep_m.partitions_replicated, 0u);
+  EXPECT_GT(rep_m.replica_reads, 0u);
+  EXPECT_LT(rep_m.storage_load_imbalance, mig_m.storage_load_imbalance);
+  EXPECT_LT(rep_m.p99_response_ms, mig_m.p99_response_ms);
+}
+
+// The same shape on the threaded engine. Wall-clock percentiles flake on
+// shared CI runners, so the threaded leg pins the deterministic-ish counts:
+// replicas actually served reads and the measured load spread narrowed.
+TEST(ReplicationEngineTest, ThreadedReplicationLowersImbalanceAtHighSkew) {
+  ExperimentEnv env(DatasetId::kWebGraphLike, /*scale=*/0.1, /*seed=*/31);
+  const auto queries = env.SkewedWorkload(/*sessions=*/4, /*queries=*/4800,
+                                          /*zipf_s=*/1.4, /*h=*/1);
+
+  RunOptions opts;
+  opts.scheme = RoutingSchemeKind::kNoCache;
+  opts.processors = 8;
+  opts.storage_servers = 4;
+  opts.max_inflight_batches = 2;
+  opts.repartition_threshold = 1.15;
+  opts.repartition_cap = 4;
+  opts.partitions_per_server = 8;
+  opts.gossip_period_us = 100.0;
+  opts.arrival_gap_us = 0.5;
+
+  RunOptions rep = opts;
+  rep.replication_top_k = 4;
+  rep.max_replicas_per_partition = 3;
+  rep.replica_demote_threshold = 0.05;
+
+  const ClusterMetrics mig_m = env.Run(EngineKind::kThreaded, opts, queries);
+  const ClusterMetrics rep_m = env.Run(EngineKind::kThreaded, rep, queries);
+
+  EXPECT_EQ(mig_m.replica_reads, 0u);
+  EXPECT_GT(rep_m.partitions_replicated, 0u);
+  EXPECT_GT(rep_m.replica_reads, 0u);
+  EXPECT_LT(rep_m.storage_load_imbalance, mig_m.storage_load_imbalance);
+}
+
+// With replication configured but the workload uniform, the promotion floor
+// (hot_fraction x average + noise sigmas) keeps every partition primary-
+// only: the run is metric-identical to migration-only, so merely turning
+// the knobs on costs nothing until real skew shows up.
+TEST(ReplicationEngineTest, SimReplicationIsInertWithoutSkew) {
+  ExperimentEnv env(DatasetId::kWebGraphLike, /*scale=*/0.1, /*seed=*/17);
+  const auto queries = env.SkewedWorkload(/*sessions=*/24, /*queries=*/400,
+                                          /*zipf_s=*/0.0);
+
+  RunOptions opts;
+  opts.scheme = RoutingSchemeKind::kHash;
+  opts.processors = 3;
+  opts.storage_servers = 4;
+  opts.cache_bytes = 64 << 10;
+  opts.repartition_threshold = 1.5;
+  opts.partitions_per_server = 8;
+  opts.gossip_period_us = 100.0;
+  opts.arrival_gap_us = 5.0;
+
+  RunOptions rep = opts;
+  rep.replication_top_k = 2;
+
+  const ClusterMetrics mig_m = env.Run(EngineKind::kSimulated, opts, queries);
+  const ClusterMetrics rep_m = env.Run(EngineKind::kSimulated, rep, queries);
+
+  EXPECT_EQ(rep_m.partitions_replicated, 0u);
+  EXPECT_EQ(rep_m.replica_reads, 0u);
+  EXPECT_EQ(rep_m.replica_demotions, 0u);
+  EXPECT_EQ(rep_m.queries, mig_m.queries);
+  EXPECT_EQ(rep_m.mean_response_ms, mig_m.mean_response_ms);
+  EXPECT_EQ(rep_m.p99_response_ms, mig_m.p99_response_ms);
+  EXPECT_EQ(rep_m.cache_hits, mig_m.cache_hits);
+  EXPECT_EQ(rep_m.storage_batches, mig_m.storage_batches);
+  EXPECT_EQ(rep_m.bytes_from_storage, mig_m.bytes_from_storage);
+  EXPECT_EQ(rep_m.storage_load_imbalance, mig_m.storage_load_imbalance);
+}
+
+}  // namespace
+}  // namespace grouting

@@ -119,6 +119,65 @@ TEST_F(TraceTest, SimTracingOnIsMetricIdenticalToTracingOff) {
   }
 }
 
+TEST_F(TraceTest, SimTracingStaysMetricIdenticalWithReplicationEnabled) {
+  // The tracing-charges-nothing invariant must survive the replication data
+  // path: promotion/demotion rounds, p2c read fan-out, and replica-aware
+  // batch routing all run identically whether or not the tracer observes
+  // them. A skewed stream plus a small cache keeps promotions firing.
+  const auto queries = env_->SkewedWorkload(/*sessions=*/6, /*queries=*/400,
+                                            /*zipf_s=*/1.5, /*h=*/1);
+  RunOptions opts = SmallRun(RoutingSchemeKind::kEmbed);
+  opts.storage_servers = 4;
+  opts.cache_bytes = 8 << 10;
+  opts.repartition_threshold = 1.1;
+  opts.repartition_cap = 4;
+  opts.partitions_per_server = 8;
+  opts.replication_top_k = 4;
+  opts.max_replicas_per_partition = 3;
+  opts.replica_demote_threshold = 0.05;
+  opts.gossip_period_us = 50.0;
+  opts.arrival_gap_us = 1.0;
+
+  auto off = Build(EngineKind::kSimulated, opts);
+  const ClusterMetrics m_off = off->Run(queries);
+  EXPECT_GT(m_off.partitions_replicated, 0u);
+
+  opts.trace_sample_every_n = 1;
+  auto on = Build(EngineKind::kSimulated, opts);
+  const ClusterMetrics m_on = on->Run(queries);
+  ASSERT_NE(on->tracer(), nullptr);
+
+  EXPECT_EQ(m_off.queries, m_on.queries);
+  EXPECT_EQ(m_off.makespan_us, m_on.makespan_us);
+  EXPECT_EQ(m_off.throughput_qps, m_on.throughput_qps);
+  EXPECT_EQ(m_off.mean_response_ms, m_on.mean_response_ms);
+  EXPECT_EQ(m_off.p99_response_ms, m_on.p99_response_ms);
+  EXPECT_EQ(m_off.p999_response_ms, m_on.p999_response_ms);
+  EXPECT_EQ(m_off.cache_hits, m_on.cache_hits);
+  EXPECT_EQ(m_off.cache_misses, m_on.cache_misses);
+  EXPECT_EQ(m_off.bytes_from_storage, m_on.bytes_from_storage);
+  EXPECT_EQ(m_off.storage_batches, m_on.storage_batches);
+  // The replication counters themselves must be tracer-invariant too.
+  EXPECT_EQ(m_off.partitions_replicated, m_on.partitions_replicated);
+  EXPECT_EQ(m_off.replica_reads, m_on.replica_reads);
+  EXPECT_EQ(m_off.replica_demotions, m_on.replica_demotions);
+  EXPECT_EQ(m_off.partitions_migrated, m_on.partitions_migrated);
+  EXPECT_EQ(m_off.storage_load_imbalance, m_on.storage_load_imbalance);
+  EXPECT_EQ(m_off.repartition_stall_us, m_on.repartition_stall_us);
+
+  EXPECT_EQ(m_off.trace_events_recorded, 0u);
+  EXPECT_GT(m_on.trace_events_recorded, 0u);
+
+  const auto a = SortedAnswers(*off);
+  const auto b = SortedAnswers(*on);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].query_id, b[i].query_id);
+    EXPECT_EQ(a[i].processor, b[i].processor);
+    EXPECT_EQ(a[i].result.aggregate, b[i].result.aggregate);
+  }
+}
+
 TEST_F(TraceTest, SimSpansAreWellFormed) {
   const auto queries = env_->HotspotWorkload(2, 2, 20, 4);
   RunOptions opts = SmallRun(RoutingSchemeKind::kEmbed);
