@@ -41,6 +41,7 @@ void BM_CachePolicy(benchmark::State& state) {
                                           CachePolicy::kLfu, CachePolicy::kClock};
   const CachePolicy policy = kPolicies[static_cast<size_t>(state.range(0))];
   RunOptions opts;
+  opts.num_hotspots = ScaledHotspots();
   opts.scheme = RoutingSchemeKind::kEmbed;
   opts.cache_policy = policy;
   // Constrain capacity to 1/16 of the working set so eviction policy matters.
@@ -59,6 +60,7 @@ void BM_Stealing(benchmark::State& state) {
   const auto scheme = kSchemes[static_cast<size_t>(state.range(0))];
   const bool stealing = state.range(1) != 0;
   RunOptions opts;
+  opts.num_hotspots = ScaledHotspots();
   opts.scheme = scheme;
   opts.stealing = stealing;
   ClusterMetrics m;
@@ -74,7 +76,7 @@ void BM_Stealing(benchmark::State& state) {
 void BM_StoragePartitioning(benchmark::State& state) {
   const int which = static_cast<int>(state.range(0));
   const Graph& g = Env().graph();
-  auto queries = Env().HotspotWorkload();
+  auto queries = Env().HotspotWorkload(/*r=*/2, /*h=*/2, ScaledHotspots());
 
   PartitionAssignment placement;
   std::string label;

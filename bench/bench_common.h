@@ -19,6 +19,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <initializer_list>
@@ -51,6 +52,17 @@ inline EngineKind BenchEngine() {
     }
   }
   return EngineKind::kSimulated;
+}
+
+// Paper-shaped hotspot count scaled to the bench size: the figure benches
+// replay the paper's 100-hotspot workload, but at the CI scale
+// (GROUTING_BENCH_SCALE=0.08) the full count swamps the shrunken graphs.
+// At the default scale (0.5) this returns `paper_hotspots` unchanged, so
+// local runs reproduce the paper exactly; smaller scales shrink the
+// workload proportionally with a floor of 10 hotspots.
+inline size_t ScaledHotspots(size_t paper_hotspots = 100) {
+  return std::max<size_t>(
+      10, static_cast<size_t>(static_cast<double>(paper_hotspots) * BenchScale() / 0.5));
 }
 
 inline const std::vector<RoutingSchemeKind>& AllSchemes() {
@@ -140,6 +152,24 @@ inline std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+// Fraction of arrivals refused by per-tenant admission control (0 when
+// quotas are off or nothing arrived).
+inline double ShedRateOf(const ClusterMetrics& m) {
+  const uint64_t arrivals = m.queries + m.queries_shed;
+  return arrivals == 0 ? 0.0
+                       : static_cast<double>(m.queries_shed) / static_cast<double>(arrivals);
+}
+
+// Worst per-tenant response-time tail across the run's tenants (ms);
+// p999 when `p999`, else p99. 0 when per-tenant metrics are absent.
+inline double MaxTenantPercentile(const ClusterMetrics& m, bool p999) {
+  double worst = 0.0;
+  for (const TenantMetrics& t : m.per_tenant) {
+    worst = std::max(worst, p999 ? t.p999_response_ms : t.p99_response_ms);
+  }
+  return worst;
+}
+
 // One named group of result rows (a bench's summary tables map 1:1).
 struct JsonGroup {
   const char* group;
@@ -179,7 +209,9 @@ inline void WriteBenchJson(const std::string& name,
                    "\"partitions_replicated\": %llu, \"replica_reads\": %llu, "
                    "\"replica_demotions\": %llu, "
                    "\"adjacency_compression_ratio\": %.6g, \"cache_entries\": %llu, "
-                   "\"decompress_us\": %.6g, \"bytes_from_storage\": %llu}",
+                   "\"decompress_us\": %.6g, \"bytes_from_storage\": %llu, "
+                   "\"tenants\": %u, \"queries_shed\": %llu, \"shed_rate\": %.6g, "
+                   "\"max_tenant_p99_ms\": %.6g, \"max_tenant_p999_ms\": %.6g}",
                    m.throughput_qps, m.mean_response_ms, m.p50_response_ms,
                    m.p95_response_ms, m.p99_response_ms, m.p999_response_ms,
                    m.CacheHitRate(), static_cast<unsigned long long>(m.cache_hits),
@@ -194,7 +226,10 @@ inline void WriteBenchJson(const std::string& name,
                    static_cast<unsigned long long>(m.replica_demotions),
                    m.adjacency_compression_ratio,
                    static_cast<unsigned long long>(m.cache_entries), m.decompress_us,
-                   static_cast<unsigned long long>(m.bytes_from_storage));
+                   static_cast<unsigned long long>(m.bytes_from_storage),
+                   static_cast<unsigned>(std::max<size_t>(1, m.per_tenant.size())),
+                   static_cast<unsigned long long>(m.queries_shed), ShedRateOf(m),
+                   MaxTenantPercentile(m, false), MaxTenantPercentile(m, true));
       first = false;
     }
   }

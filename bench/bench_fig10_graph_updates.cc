@@ -25,7 +25,7 @@ std::vector<ResultRow>& Rows() {
 
 ClusterMetrics RunWithPreprocessedFraction(RoutingSchemeKind scheme, double fraction) {
   const Graph& g = Env().graph();
-  auto queries = Env().HotspotWorkload();
+  auto queries = Env().HotspotWorkload(/*r=*/2, /*h=*/2, ScaledHotspots());
 
   // Unified engine config at the paper's defaults (ample cache).
   const ClusterConfig cc = Env().MakeClusterConfig(RunOptions{});

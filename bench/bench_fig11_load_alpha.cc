@@ -36,6 +36,7 @@ void BM_Fig11a_LoadFactor(benchmark::State& state) {
   const auto scheme = kSchemes[static_cast<size_t>(state.range(0))];
   const double lf = LoadFactors()[static_cast<size_t>(state.range(1))];
   RunOptions opts;
+  opts.num_hotspots = ScaledHotspots();
   opts.scheme = scheme;
   opts.load_factor = lf;
   ClusterMetrics m;
@@ -52,6 +53,7 @@ void BM_Fig11b_Alpha(benchmark::State& state) {
   const bool embed = state.range(0) == 0;
   const double alpha = static_cast<double>(state.range(1)) / 100.0;
   RunOptions opts;
+  opts.num_hotspots = ScaledHotspots();
   opts.scheme = embed ? RoutingSchemeKind::kEmbed : RoutingSchemeKind::kHash;
   opts.alpha = alpha;
   ClusterMetrics m;

@@ -46,6 +46,7 @@ void BM_Fig12a_RelativeError(benchmark::State& state) {
 void BM_Fig12b_ResponseTime(benchmark::State& state) {
   const auto dims = static_cast<size_t>(state.range(0));
   RunOptions opts;
+  opts.num_hotspots = ScaledHotspots();
   opts.scheme = RoutingSchemeKind::kEmbed;
   opts.dimensions = dims;
   ClusterMetrics m;
@@ -58,6 +59,7 @@ void BM_Fig12b_ResponseTime(benchmark::State& state) {
 
 void BM_Fig12b_HashReference(benchmark::State& state) {
   RunOptions opts;
+  opts.num_hotspots = ScaledHotspots();
   opts.scheme = RoutingSchemeKind::kHash;
   ClusterMetrics m;
   for (auto _ : state) {

@@ -30,6 +30,7 @@ void BM_Fig13a_LandmarkCount(benchmark::State& state) {
   const auto scheme = kSchemes[static_cast<size_t>(state.range(0))];
   const auto count = static_cast<size_t>(state.range(1));
   RunOptions opts;
+  opts.num_hotspots = ScaledHotspots();
   opts.scheme = scheme;
   opts.num_landmarks = count;
   ClusterMetrics m;
@@ -49,6 +50,7 @@ void BM_Fig13b_Separation(benchmark::State& state) {
   const auto scheme = kSchemes[static_cast<size_t>(state.range(0))];
   const auto separation = static_cast<int32_t>(state.range(1));
   RunOptions opts;
+  opts.num_hotspots = ScaledHotspots();
   opts.scheme = scheme;
   opts.min_separation = separation;
   ClusterMetrics m;

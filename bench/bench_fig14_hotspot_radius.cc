@@ -24,6 +24,7 @@ void BM_Fig14(benchmark::State& state) {
   const auto scheme = AllSchemes()[static_cast<size_t>(state.range(0))];
   const auto r = static_cast<int32_t>(state.range(1));
   RunOptions opts;
+  opts.num_hotspots = ScaledHotspots();
   opts.scheme = scheme;
   opts.hotspot_radius = r;
   opts.hops = 2;

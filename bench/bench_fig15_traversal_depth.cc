@@ -25,6 +25,7 @@ void BM_Fig15(benchmark::State& state) {
   const auto scheme = AllSchemes()[static_cast<size_t>(state.range(0))];
   const auto h = static_cast<int32_t>(state.range(1));
   RunOptions opts;
+  opts.num_hotspots = ScaledHotspots();
   opts.scheme = scheme;
   opts.hotspot_radius = 2;
   opts.hops = h;

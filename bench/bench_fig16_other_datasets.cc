@@ -30,6 +30,7 @@ void BM_Fig16(benchmark::State& state) {
   const auto scheme = AllSchemes()[static_cast<size_t>(state.range(1))];
   ExperimentEnv& env = Env(dataset);
   RunOptions opts;
+  opts.num_hotspots = ScaledHotspots();
   opts.scheme = scheme;
   ClusterMetrics m;
   for (auto _ : state) {

@@ -47,7 +47,7 @@ void BM_Fig7(benchmark::State& state) {
   const int dataset = static_cast<int>(state.range(0));
   const int system = static_cast<int>(state.range(1));
   ExperimentEnv& env = Env(dataset);
-  auto queries = env.HotspotWorkload();
+  auto queries = env.HotspotWorkload(/*r=*/2, /*h=*/2, ScaledHotspots());
 
   if (Rows().size() <= static_cast<size_t>(dataset)) {
     Rows().resize(dataset + 1);

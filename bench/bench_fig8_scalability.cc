@@ -32,6 +32,7 @@ void BM_Fig8a_Processors(benchmark::State& state) {
   const auto scheme = AllSchemes()[static_cast<size_t>(state.range(0))];
   const auto procs = static_cast<uint32_t>(state.range(1));
   RunOptions opts;
+  opts.num_hotspots = ScaledHotspots();
   opts.scheme = scheme;
   opts.processors = procs;
   ClusterMetrics m;
@@ -47,6 +48,7 @@ void BM_Fig8c_StorageServers(benchmark::State& state) {
   const auto scheme = AllSchemes()[static_cast<size_t>(state.range(0))];
   const auto servers = static_cast<uint32_t>(state.range(1));
   RunOptions opts;
+  opts.num_hotspots = ScaledHotspots();
   opts.scheme = scheme;
   opts.processors = 4;
   opts.storage_servers = servers;

@@ -37,6 +37,7 @@ const std::vector<double>& CacheFractions() {
 
 void BM_Fig9_NoCache(benchmark::State& state) {
   RunOptions opts;
+  opts.num_hotspots = ScaledHotspots();
   opts.scheme = RoutingSchemeKind::kNoCache;
   ClusterMetrics m;
   for (auto _ : state) {
@@ -56,6 +57,7 @@ void BM_Fig9_CacheSweep(benchmark::State& state) {
   const auto bytes = static_cast<uint64_t>(
       fraction * static_cast<double>(Env().graph().TotalAdjacencyBytes()));
   RunOptions opts;
+  opts.num_hotspots = ScaledHotspots();
   opts.scheme = scheme;
   opts.cache_bytes = std::max<uint64_t>(bytes, 1);
   ClusterMetrics m;
@@ -89,6 +91,7 @@ void PrintFig9c() {
     for (int iter = 0; iter < 7; ++iter) {
       const uint64_t mid = (lo + hi) / 2;
       RunOptions opts;
+      opts.num_hotspots = ScaledHotspots();
       opts.scheme = scheme;
       opts.cache_bytes = mid;
       const auto m = Env().Run(BenchEngine(), opts);

@@ -70,6 +70,7 @@ void BM_AsyncBatch_WindowXCache(benchmark::State& state) {
   const uint32_t window = Windows()[static_cast<size_t>(state.range(0))];
   const double fraction = CacheFractions()[static_cast<size_t>(state.range(1))];
   RunOptions opts;
+  opts.num_hotspots = ScaledHotspots();
   opts.scheme = RoutingSchemeKind::kEmbed;
   opts.storage_servers = kStorageServers;
   opts.cache_bytes = CacheBytesFor(fraction);
@@ -89,6 +90,7 @@ void BM_AsyncBatch_WindowXScheme(benchmark::State& state) {
   const auto scheme = AllSchemes()[static_cast<size_t>(state.range(0))];
   const uint32_t window = state.range(1) == 0 ? 1 : 4;
   RunOptions opts;
+  opts.num_hotspots = ScaledHotspots();
   opts.scheme = scheme;
   opts.storage_servers = kStorageServers;
   opts.cache_bytes = CacheBytesFor(/*fraction=*/0.0625);

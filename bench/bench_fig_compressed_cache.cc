@@ -58,6 +58,7 @@ void BM_CompressedCache(benchmark::State& state) {
   const auto bytes = static_cast<uint64_t>(
       fraction * static_cast<double>(Env().graph().TotalAdjacencyBytes()));
   RunOptions opts;
+  opts.num_hotspots = ScaledHotspots();
   opts.scheme = RoutingSchemeKind::kEmbed;
   // The paper's 10 Gbps Ethernet profile: compression is a wire-economics
   // trade, and this is the regime where the wire actually costs something

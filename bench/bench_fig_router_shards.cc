@@ -25,13 +25,6 @@ ExperimentEnv& Env() {
   return env;
 }
 
-// Hotspot count honours GROUTING_BENCH_SCALE so the CI small-scale run
-// shrinks both sweep axes; the default scale (0.5) keeps the paper's
-// 100-hotspot stream.
-size_t ScaledHotspots() {
-  return std::max<size_t>(10, static_cast<size_t>(200.0 * BenchScale()));
-}
-
 std::vector<ResultRow>& ShardRows() {
   static std::vector<ResultRow> rows;
   return rows;

@@ -104,7 +104,83 @@ void PrintHelp() {
       "  --trace-sample-every-n=<int>  trace every Nth query (default 1 when\n"
       "                           --trace-out is set, else 0 = tracing off)\n"
       "  --trace-buffer-capacity=<int> events per trace ring (default 65536)\n"
+      "  --num-tenants=<int>      tenant keyspaces federated over the storage\n"
+      "                           tier (default 1)\n"
+      "  --tenant-quota-qps=<float>  per-tenant admission quota at the\n"
+      "                           splitter (<=0 disables, default 0)\n"
+      "  --tenant-quota-burst=<float>  admission token-bucket burst\n"
+      "                           (default 32)\n"
+      "  --open-loop              open-loop Poisson workload: Query::arrive_us\n"
+      "                           timestamps drive arrivals on both engines\n"
+      "  --arrivals=<int>         open-loop arrivals          (default 8192)\n"
+      "  --arrival-rate=<qps>     open-loop aggregate rate    (default 50000)\n"
+      "  --tenant-skew=<float>    Zipf skew of per-tenant rates (default 1.0)\n"
+      "  --sessions-per-tenant=<int>  open-loop session universe per tenant\n"
+      "                           (default 1000000)\n"
+      "  --session-skew=<float>   heavy-tail exponent of session popularity\n"
+      "                           (default 1.1)\n"
+      "  --tenant-metrics-out=<file>  write per-tenant admission/latency\n"
+      "                           metrics + answer checksum as JSON\n"
       "  --seed=<int>\n");
+}
+
+// Order-independent checksum over the run's answers: each answer folds its
+// id and result fields through a SplitMix64 chain into one 64-bit word, and
+// the words XOR together — so the value is identical across engines
+// regardless of completion order (the soak pipeline's exactly-once check).
+uint64_t AnswerChecksum(const std::vector<AnsweredQuery>& answers) {
+  uint64_t sum = 0;
+  for (const AnsweredQuery& a : answers) {
+    SplitMix64 chain(a.query_id);
+    uint64_t w = chain.Next();
+    chain = SplitMix64(w ^ static_cast<uint64_t>(a.result.type));
+    w = chain.Next();
+    chain = SplitMix64(w ^ a.result.aggregate);
+    w = chain.Next();
+    chain = SplitMix64(w ^ (static_cast<uint64_t>(a.result.walk_end) << 32 |
+                            a.result.walk_distinct_nodes));
+    w = chain.Next();
+    chain = SplitMix64(w ^ (a.result.reachable ? 1u : 0u) ^
+                       (static_cast<uint64_t>(static_cast<uint32_t>(a.result.distance))
+                        << 8));
+    sum ^= chain.Next();
+  }
+  return sum;
+}
+
+// Per-tenant admission/latency metrics as JSON, consumed by
+// tools/check_soak.py to gate the CI multi-tenant soak on both engines.
+bool WriteTenantMetricsJson(const std::string& path, const std::string& engine,
+                            const RunOptions& opts, size_t arrivals,
+                            const ClusterMetrics& m, uint64_t checksum) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  std::fprintf(f,
+               "{\n  \"engine\": \"%s\",\n  \"tenants\": %u,\n"
+               "  \"quota_qps\": %.6g,\n  \"arrivals\": %zu,\n"
+               "  \"answered\": %llu,\n  \"shed_total\": %llu,\n"
+               "  \"answer_checksum\": \"%016llx\",\n  \"per_tenant\": [",
+               engine.c_str(), opts.num_tenants, opts.tenant_quota_qps, arrivals,
+               static_cast<unsigned long long>(m.queries),
+               static_cast<unsigned long long>(m.queries_shed),
+               static_cast<unsigned long long>(checksum));
+  for (size_t i = 0; i < m.per_tenant.size(); ++i) {
+    const TenantMetrics& t = m.per_tenant[i];
+    std::fprintf(f,
+                 "%s\n    {\"tenant\": %u, \"queries\": %llu, \"shed\": %llu, "
+                 "\"shed_rate\": %.6g, \"mean_response_ms\": %.6g, "
+                 "\"p50_response_ms\": %.6g, \"p99_response_ms\": %.6g, "
+                 "\"p999_response_ms\": %.6g}",
+                 i == 0 ? "" : ",", t.tenant, static_cast<unsigned long long>(t.queries),
+                 static_cast<unsigned long long>(t.shed), t.ShedRate(),
+                 t.mean_response_ms, t.p50_response_ms, t.p99_response_ms,
+                 t.p999_response_ms);
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  return true;
 }
 
 }  // namespace
@@ -222,6 +298,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--trace-out requires --trace-sample-every-n >= 1\n");
     return 1;
   }
+  opts.num_tenants = static_cast<uint32_t>(flags.GetInt("num-tenants", 1));
+  opts.tenant_quota_qps = flags.GetDouble("tenant-quota-qps", 0.0);
+  opts.tenant_quota_burst = flags.GetDouble("tenant-quota-burst", 32.0);
+  opts.open_loop = flags.values.count("open-loop") > 0;
+  const std::string tenant_metrics_out = flags.Get("tenant-metrics-out", "");
+  if (opts.num_tenants == 0) {
+    std::fprintf(stderr, "--num-tenants must be >= 1\n");
+    return 1;
+  }
 
   const Graph& g = env.graph();
   std::printf("dataset %s (scale %.2f): %zu nodes, %zu edges\n", dataset_name.c_str(),
@@ -232,8 +317,23 @@ int main(int argc, char** argv) {
 
   // Assembled by hand (rather than env.Run) so the engine outlives the run:
   // the trace export reads the recorder after the metrics come back.
-  const std::vector<Query> workload = env.HotspotWorkload(
-      opts.hotspot_radius, opts.hops, opts.num_hotspots, opts.queries_per_hotspot);
+  std::vector<Query> workload;
+  if (opts.open_loop) {
+    OpenLoopConfig ol;
+    ol.num_tenants = opts.num_tenants;
+    ol.num_arrivals = static_cast<size_t>(flags.GetInt("arrivals", 8192));
+    ol.arrival_rate_qps = flags.GetDouble("arrival-rate", 50000.0);
+    ol.tenant_skew = flags.GetDouble("tenant-skew", 1.0);
+    ol.sessions_per_tenant =
+        static_cast<size_t>(flags.GetInt("sessions-per-tenant", 1000000));
+    ol.session_skew = flags.GetDouble("session-skew", 1.1);
+    ol.hops = opts.hops;
+    ol.seed = env.seed() ^ 0x99;
+    workload = GenerateOpenLoopWorkload(env.graph(), ol);
+  } else {
+    workload = env.HotspotWorkload(opts.hotspot_radius, opts.hops, opts.num_hotspots,
+                                   opts.queries_per_hotspot);
+  }
   auto cluster = MakeClusterEngine(engine, env.graph(), env.MakeClusterConfig(opts),
                                    env.MakeStrategy(opts));
   const ClusterMetrics m = cluster->Run(workload);
@@ -320,6 +420,28 @@ int main(int argc, char** argv) {
                 Table::Int(static_cast<int64_t>(m.sticky_evictions))});
     }
   }
+  if (opts.num_tenants > 1 || opts.tenant_quota_qps > 0.0) {
+    t.AddRow({"tenants", Table::Int(static_cast<int64_t>(opts.num_tenants))});
+    t.AddRow({"queries shed", Table::Int(static_cast<int64_t>(m.queries_shed))});
+    for (const TenantMetrics& tm : m.per_tenant) {
+      t.AddRow({"tenant " + Table::Int(tm.tenant),
+                Table::Int(static_cast<int64_t>(tm.queries)) + " q / " +
+                    Table::Int(static_cast<int64_t>(tm.shed)) + " shed / p99 " +
+                    Table::Num(tm.p99_response_ms, 3) + " ms"});
+    }
+  }
   std::printf("%s", t.ToString().c_str());
+
+  if (!tenant_metrics_out.empty()) {
+    const uint64_t checksum = AnswerChecksum(cluster->answers());
+    if (WriteTenantMetricsJson(tenant_metrics_out, engine_name, opts, workload.size(),
+                               m, checksum)) {
+      std::printf("wrote tenant metrics: %s\n", tenant_metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "tenant metrics export to %s failed\n",
+                   tenant_metrics_out.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/frontend/admission.h"
 #include "src/runtime/threaded_cluster.h"
 #include "src/sim/decoupled_sim.h"
 
@@ -30,8 +31,20 @@ ClusterEngine::ClusterEngine(const Graph& graph, const ClusterConfig& config,
   GROUTING_CHECK(config_.router_session_capacity > 0);
   GROUTING_CHECK_MSG(config_.processor.max_inflight_batches > 0,
                      "max_inflight_batches must be >= 1");
+  GROUTING_CHECK(config_.num_tenants > 0);
+  GROUTING_CHECK(config_.tenant_quota_burst >= 1.0);
   repartition_config_ = config_.MakeRepartitionConfig();
   storage_ = std::make_unique<StorageTier>(config_.num_storage_servers);
+  if (config_.num_tenants > 1) {
+    GROUTING_CHECK_MSG(placement == nullptr,
+                       "multi-tenant federation is incompatible with an "
+                       "explicit storage placement");
+    // Federated keyspaces: the tier stores one copy of the graph per tenant
+    // and the processors offset their keys by tenant * num_nodes. Must be
+    // set before LoadGraph below.
+    storage_->set_num_tenants(config_.num_tenants);
+    config_.processor.tenant_stride = static_cast<NodeId>(graph.num_nodes());
+  }
   storage_->set_encoding(config_.adjacency_encoding);
   if (config_.processor.cache_compressed) {
     // Compressed processor caches admit the wire blob, so every decode must
@@ -151,6 +164,66 @@ std::vector<StorageTier::MigrationResult> ClusterEngine::RepartitionRound() {
     }
   }
   return executed;
+}
+
+double ClusterEngine::ArrivalTimeUs(const Query& q, size_t index) const {
+  if (config_.open_loop_arrivals && q.arrive_us >= 0.0) {
+    return q.arrive_us;
+  }
+  return config_.arrival_gap_us * static_cast<double>(index);
+}
+
+ClusterEngine::AdmissionPlan ClusterEngine::PlanAdmission(
+    std::span<const Query> queries) const {
+  AdmissionPlan plan;
+  plan.shed_per_tenant.assign(config_.num_tenants, 0);
+  for (const Query& q : queries) {
+    GROUTING_CHECK_MSG(q.tenant < config_.num_tenants,
+                       "query tenant id out of range");
+  }
+  if (config_.tenant_quota_qps <= 0.0) {
+    plan.admitted = queries.size();
+    return plan;
+  }
+  AdmissionConfig admission;
+  admission.num_tenants = config_.num_tenants;
+  admission.quota_qps = config_.tenant_quota_qps;
+  admission.burst = config_.tenant_quota_burst;
+  TenantAdmission buckets(admission);
+  plan.admit.resize(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const bool ok = buckets.Admit(queries[i].tenant, ArrivalTimeUs(queries[i], i));
+    plan.admit[i] = ok ? 1 : 0;
+    if (ok) {
+      ++plan.admitted;
+    } else {
+      ++plan.shed;
+      ++plan.shed_per_tenant[queries[i].tenant];
+    }
+  }
+  return plan;
+}
+
+void ClusterEngine::FillTenantMetrics(
+    ClusterMetrics* m, std::span<const LatencyHistogram> tenant_response_us,
+    std::span<const uint64_t> tenant_queries, const AdmissionPlan& plan) const {
+  m->queries_shed = plan.shed;
+  m->per_tenant.clear();
+  m->per_tenant.reserve(config_.num_tenants);
+  for (uint32_t t = 0; t < config_.num_tenants; ++t) {
+    TenantMetrics tm;
+    tm.tenant = t;
+    tm.queries = tenant_queries[t];
+    tm.shed = t < plan.shed_per_tenant.size() ? plan.shed_per_tenant[t] : 0;
+    const LatencyHistogram& h = tenant_response_us[t];
+    if (h.count() > 0) {
+      tm.mean_response_ms = h.mean() / 1000.0;
+      tm.p50_response_ms = h.Percentile(50.0) / 1000.0;
+      tm.p99_response_ms = h.Percentile(99.0) / 1000.0;
+      tm.p999_response_ms = h.Percentile(99.9) / 1000.0;
+    }
+    m->per_tenant.push_back(tm);
+  }
 }
 
 void ClusterEngine::FillLatencyStats(ClusterMetrics* m,

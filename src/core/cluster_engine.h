@@ -146,6 +146,31 @@ struct ClusterConfig {
   // A full ring drops new events and counts them (trace_events_dropped).
   uint32_t trace_buffer_capacity = 1u << 16;
 
+  // --- Multi-tenant graph federation (src/storage/ keyspaces + admission) ---
+  // Tenant count: the storage tier loads one keyspace copy of the graph per
+  // tenant (tenant t's node u lives at global key u + t * num_nodes), so
+  // placement, repartitioning, and replication keep working per tenant with
+  // no special cases below the keyspace mapping. 1 = the classic
+  // single-tenant cluster, metric-identical to the pre-federation engine.
+  // Incompatible with an explicit storage placement.
+  uint32_t num_tenants = 1;
+  // Per-tenant admission quota at the arrival splitter, in queries per
+  // second of schedule time (virtual µs on the simulated engine; the same
+  // schedule paced in wall time on the threaded one). Over-quota arrivals
+  // are shed before reaching a router shard and counted
+  // (ClusterMetrics::queries_shed); in-quota arrivals are never dropped.
+  // <= 0 disables admission control.
+  double tenant_quota_qps = 0.0;
+  // Token-bucket depth per tenant, in queries: bursts this deep above the
+  // quota are absorbed before shedding starts.
+  double tenant_quota_burst = 32.0;
+  // Honour each query's Query::arrive_us open-loop timestamp (Poisson
+  // schedules from GenerateOpenLoopWorkload) instead of pacing arrivals
+  // arrival_gap_us apart. Both engines consume the same schedule: the sim
+  // fires arrival events at arrive_us in virtual time, the threaded feeder
+  // paces them in wall time from the run's epoch.
+  bool open_loop_arrivals = false;
+
   // The storage-rebalancer policy the knobs above lower to. enabled() /
   // replication_enabled() / active() on the result are the single source of
   // truth for whether migration and/or replication run — the engine and
@@ -160,6 +185,32 @@ struct ClusterConfig {
     repartition.replica_demote_threshold = replica_demote_threshold;
     repartition.max_replicas_per_partition = max_replicas_per_partition;
     return repartition;
+  }
+};
+
+// One tenant's slice of a run (multi-tenant federation). Response
+// percentiles come from a per-tenant LatencyHistogram, same time base and
+// bucket error as the run-level percentiles.
+struct TenantMetrics {
+  // Tenant id (index into ClusterConfig::num_tenants).
+  uint32_t tenant = 0;
+  // Queries from this tenant answered over the run.
+  uint64_t queries = 0;
+  // Arrivals from this tenant shed by admission control.
+  uint64_t shed = 0;
+  // Mean dispatch -> completion time for this tenant's queries (ms).
+  double mean_response_ms = 0.0;
+  // Median of the same distribution (ms).
+  double p50_response_ms = 0.0;
+  // 99th percentile (ms) — the per-tenant SLO tail.
+  double p99_response_ms = 0.0;
+  // 99.9th percentile (ms).
+  double p999_response_ms = 0.0;
+
+  // Shed arrivals as a fraction of this tenant's offered arrivals.
+  double ShedRate() const {
+    const uint64_t offered = queries + shed;
+    return offered == 0 ? 0.0 : static_cast<double>(shed) / static_cast<double>(offered);
   }
 };
 
@@ -257,6 +308,13 @@ struct ClusterMetrics {
   uint64_t trace_events_dropped = 0;
   // Peak events resident in any single trace ring (capacity head-room).
   uint64_t trace_buffer_high_water = 0;
+  // Multi-tenant federation: arrivals refused by per-tenant admission
+  // control at the splitter. Shed queries never reach a router shard and
+  // are not counted in `queries` (0 when quotas are off).
+  uint64_t queries_shed = 0;
+  // Per-tenant slice of the run, indexed by tenant id; a single-tenant run
+  // reports one row mirroring the run totals.
+  std::vector<TenantMetrics> per_tenant;
 
   double CacheHitRate() const {
     const uint64_t total = cache_hits + cache_misses;
@@ -327,6 +385,32 @@ class ClusterEngine {
 
   // Trace-subsystem counters (recorded/dropped/high-water) into `m`.
   void AddTraceStats(ClusterMetrics* m) const;
+
+  // Deterministic per-tenant admission decisions for one arrival schedule.
+  // Computed once, up front, by BOTH engines from the schedule's own
+  // timestamps — so they shed exactly the same arrivals. An empty `admit`
+  // vector means no quota: everything is admitted.
+  struct AdmissionPlan {
+    std::vector<uint8_t> admit;  // parallel to the schedule; empty = all
+    uint64_t admitted = 0;
+    uint64_t shed = 0;
+    std::vector<uint64_t> shed_per_tenant;  // sized config.num_tenants
+
+    bool Admitted(size_t i) const { return admit.empty() || admit[i] != 0; }
+  };
+  AdmissionPlan PlanAdmission(std::span<const Query> queries) const;
+
+  // Schedule time (µs) of the i-th arrival: the query's open-loop
+  // timestamp when open_loop_arrivals is on, else i * arrival_gap_us.
+  double ArrivalTimeUs(const Query& q, size_t index) const;
+
+  // Fills the per-tenant rows and the shed counter from per-tenant response
+  // histograms / answer counts (both indexed by tenant id, sized
+  // config.num_tenants) plus the run's admission plan.
+  void FillTenantMetrics(ClusterMetrics* m,
+                         std::span<const LatencyHistogram> tenant_response_us,
+                         std::span<const uint64_t> tenant_queries,
+                         const AdmissionPlan& plan) const;
 
   // Whether the config enables storage-tier repartition rounds at all —
   // hot-partition migration, replication, or both.

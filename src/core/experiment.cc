@@ -138,6 +138,10 @@ ClusterConfig ExperimentEnv::MakeClusterConfig(const RunOptions& options) {
   config.trace_sample_every_n = options.trace_sample_every_n;
   config.trace_buffer_capacity = options.trace_buffer_capacity;
   config.arrival_gap_us = options.arrival_gap_us;
+  config.num_tenants = options.num_tenants;
+  config.tenant_quota_qps = options.tenant_quota_qps;
+  config.tenant_quota_burst = options.tenant_quota_burst;
+  config.open_loop_arrivals = options.open_loop;
   return config;
 }
 

@@ -104,6 +104,14 @@ struct RunOptions {
   int32_t hops = 2;
   size_t num_hotspots = PaperDefaults::kHotspots;
   size_t queries_per_hotspot = PaperDefaults::kQueriesPerHotspot;
+  // Multi-tenant graph federation: tenant keyspace count, per-tenant
+  // admission quota (qps of schedule time; <= 0 = no quota) with its token
+  // burst, and whether Query::arrive_us open-loop timestamps drive arrivals
+  // instead of arrival_gap_us pacing.
+  uint32_t num_tenants = 1;
+  double tenant_quota_qps = 0.0;
+  double tenant_quota_burst = 32.0;
+  bool open_loop = false;
 };
 
 class ExperimentEnv {

@@ -116,10 +116,10 @@ void CachedStorageSource::CompleteOldest(std::vector<Inflight>* inflight,
         GROUTING_CHECK_MSG(entry->wire != nullptr,
                            "cache_compressed requires the storage tier's "
                            "retain-wire mode");
-        cache_->Put(nodes[pos], CachedAdjacency{nullptr, entry->wire},
+        cache_->Put(Key(nodes[pos]), CachedAdjacency{nullptr, entry->wire},
                     entry->wire->size());
       } else {
-        cache_->Put(nodes[pos], CachedAdjacency{entry, nullptr},
+        cache_->Put(Key(nodes[pos]), CachedAdjacency{entry, nullptr},
                     entry->SerializedBytes());
       }
     }
@@ -147,7 +147,7 @@ std::vector<AdjacencyPtr> CachedStorageSource::FetchBatch(std::span<const NodeId
     if (cache_ != nullptr) {
       ++trace_.cache_lookups;
       ++level.lookups;
-      if (auto hit = cache_->Get(nodes[i]); hit.has_value()) {
+      if (auto hit = cache_->Get(Key(nodes[i])); hit.has_value()) {
         ++trace_.cache_hits;
         ++level.hits;
         ++trace_.visited;
@@ -196,7 +196,9 @@ std::vector<AdjacencyPtr> CachedStorageSource::FetchBatch(std::span<const NodeId
     for (const size_t pos : miss_positions) {
       // ReadServerOf: the owner, or under replication a p2c-chosen replica
       // — so one scorching partition's misses fan across its replica set.
-      misses.emplace_back(storage_->ReadServerOf(nodes[pos]), pos);
+      // Keys go out tenant-offset: placement below only ever sees global
+      // keys, while positions keep indexing the tenant-local result slots.
+      misses.emplace_back(storage_->ReadServerOf(Key(nodes[pos])), pos);
     }
     std::sort(misses.begin(), misses.end());
 
@@ -213,7 +215,7 @@ std::vector<AdjacencyPtr> CachedStorageSource::FetchBatch(std::span<const NodeId
       std::vector<NodeId> keys;
       while (i < misses.size() && misses[i].first == server) {
         const size_t pos = misses[i].second;
-        keys.push_back(nodes[pos]);
+        keys.push_back(Key(nodes[pos]));
         batch.positions.push_back(pos);
         ++i;
       }
@@ -269,12 +271,13 @@ QueryProcessor::QueryProcessor(uint32_t id, StorageTier* storage,
     cache_ = std::make_unique<NodeCache<CachedAdjacency>>(config.cache_bytes,
                                                           config.cache_policy);
   }
-  source_ = std::make_unique<CachedStorageSource>(storage, cache_.get(),
-                                                  config.max_inflight_batches,
-                                                  config.cache_compressed);
+  source_ = std::make_unique<CachedStorageSource>(
+      storage, cache_.get(), config.max_inflight_batches,
+      config.cache_compressed, config.tenant_stride);
 }
 
 QueryResult QueryProcessor::Execute(const Query& q) {
+  source_->set_tenant(q.tenant);
   source_->ResetTrace();
   QueryResult result = ExecuteQuery(q, *source_);
   const FetchTrace& trace = source_->trace();

@@ -64,17 +64,25 @@ struct ProcessorConfig {
   // at the price of a decode (CostModel::decompress_*) on every hit.
   // Requires the storage tier to run in retain-wire mode.
   bool cache_compressed = false;
+  // Multi-tenant federation: keyspace stride (the graph's node count; set
+  // by the engine when ClusterConfig::num_tenants > 1). A query from tenant
+  // t reads storage and cache under keys node + t * stride while traversal,
+  // results, and batch positions stay in the tenant-local id space.
+  // 0 = single tenant, identity mapping.
+  NodeId tenant_stride = 0;
 };
 
 // NodeDataSource that fronts the storage tier with a processor-local cache.
 class CachedStorageSource : public NodeDataSource {
  public:
   CachedStorageSource(StorageTier* storage, NodeCache<CachedAdjacency>* cache,
-                      uint32_t max_inflight_batches = 1, bool cache_compressed = false)
+                      uint32_t max_inflight_batches = 1, bool cache_compressed = false,
+                      NodeId tenant_stride = 0)
       : storage_(storage),
         cache_(cache),
         window_(max_inflight_batches == 0 ? 1 : max_inflight_batches),
-        cache_compressed_(cache_compressed) {
+        cache_compressed_(cache_compressed),
+        tenant_stride_(tenant_stride) {
     GROUTING_CHECK(storage_ != nullptr);
   }
 
@@ -93,7 +101,16 @@ class CachedStorageSource : public NodeDataSource {
   // default) records nothing.
   void set_tracer(WallTracer* tracer) { tracer_ = tracer; }
 
+  // Selects the tenant keyspace for subsequent fetches: storage and cache
+  // keys become node + tenant * tenant_stride. Tenant 0 (or stride 0) is
+  // the identity mapping — the classic single-tenant path.
+  void set_tenant(uint32_t tenant) {
+    tenant_offset_ = static_cast<NodeId>(tenant) * tenant_stride_;
+  }
+
  private:
+  // Global storage/cache key of a tenant-local node id.
+  NodeId Key(NodeId node) const { return node + tenant_offset_; }
   // One outstanding multiget batch plus what is needed to install it.
   struct Inflight {
     std::shared_ptr<MultiGetHandle> handle;
@@ -111,6 +128,8 @@ class CachedStorageSource : public NodeDataSource {
   NodeCache<CachedAdjacency>* cache_;  // nullptr = no-cache mode
   uint32_t window_;
   bool cache_compressed_;
+  NodeId tenant_stride_ = 0;
+  NodeId tenant_offset_ = 0;
   BatchFetchExecutor* executor_ = nullptr;
   WallTracer* tracer_ = nullptr;
   FetchTrace trace_;

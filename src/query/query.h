@@ -43,6 +43,9 @@ struct Query {
   double restart_prob = 0.15;      // random walk restart probability
   uint64_t seed = 0;               // per-query determinism (random walk)
   uint64_t id = 0;                 // workload-assigned id (for tracing)
+  uint32_t tenant = 0;             // tenant keyspace (multi-tenant federation)
+  double arrive_us = -1.0;         // open-loop arrival timestamp (µs); < 0 =
+                                   // closed-loop pacing via arrival_gap_us
 };
 
 struct QueryResult {

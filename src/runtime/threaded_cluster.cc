@@ -54,9 +54,11 @@ ThreadedCluster::ThreadedCluster(const Graph& graph, const ClusterConfig& config
   adaptive_ = config_.num_router_shards > 1 &&
               config_.router_splitter == SplitterKind::kAdaptive;
   // The feeder thread is what lets the assignment change mid-run (adaptive)
-  // or arrivals be paced in wall time (arrival_gap_us); otherwise the PR-2
-  // pre-sliced path is kept byte-for-byte.
-  use_feeder_ = adaptive_ || config_.arrival_gap_us > 0.0;
+  // or arrivals be paced in wall time (arrival_gap_us, or the open-loop
+  // schedule's own arrive_us timestamps); otherwise the PR-2 pre-sliced
+  // path is kept byte-for-byte.
+  use_feeder_ =
+      adaptive_ || config_.arrival_gap_us > 0.0 || config_.open_loop_arrivals;
   shards_.reserve(config_.num_router_shards);
   for (uint32_t s = 1; s < config_.num_router_shards; ++s) {
     auto clone = strategy->Clone();
@@ -87,6 +89,10 @@ ThreadedCluster::ThreadedCluster(const Graph& graph, const ClusterConfig& config
     }
   }
   samples_.resize(config_.num_processors);
+  for (auto& s : samples_) {
+    s.tenant_response_us.resize(config_.num_tenants);
+    s.tenant_queries.assign(config_.num_tenants, 0);
+  }
 }
 
 ThreadedCluster::~ThreadedCluster() {
@@ -162,11 +168,35 @@ void ThreadedCluster::FeederLoop(std::span<const Query> queries) {
   // A configured arrival gap is paced here in wall time — the threaded
   // counterpart of the simulator's virtual-time arrival events, and what
   // lets gossip/rebalance ticks interleave with the stream on real threads.
-  for (const Query& q : queries) {
+  // Open-loop schedules pace to each query's absolute arrive_us from the
+  // loop's epoch instead (sleep coarse, spin the last stretch), so the wall
+  // clock replays the same Poisson schedule the simulator fires in virtual
+  // time. Shed arrivals are paced but never handed to a shard — admission
+  // happens at the splitter, and the schedule's timing is unaffected.
+  const auto epoch = Clock::now();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Query& q = queries[i];
     if (shutdown_.load(std::memory_order_acquire)) {
       break;
     }
-    BusyWaitUs(config_.arrival_gap_us);
+    if (config_.open_loop_arrivals && q.arrive_us >= 0.0) {
+      const auto target =
+          epoch + std::chrono::nanoseconds(
+                      static_cast<int64_t>(q.arrive_us * 1000.0));
+      auto now = Clock::now();
+      if (target - now > std::chrono::microseconds(200)) {
+        std::this_thread::sleep_until(target - std::chrono::microseconds(100));
+        now = Clock::now();
+      }
+      while (now < target) {
+        now = Clock::now();
+      }
+    } else {
+      BusyWaitUs(config_.arrival_gap_us);
+    }
+    if (!admission_plan_.Admitted(i)) {
+      continue;
+    }
     uint32_t shard;
     {
       std::lock_guard<std::mutex> lock(splitter_mu_);
@@ -409,7 +439,10 @@ void ThreadedCluster::ProcessorLoop(uint32_t p) {
       }
     }
     const auto completed = Clock::now();
-    samples.response_us.Add(ElapsedUs(dispatched, completed));
+    const double response_us = ElapsedUs(dispatched, completed);
+    samples.response_us.Add(response_us);
+    samples.tenant_response_us[routed.query.tenant].Add(response_us);
+    ++samples.tenant_queries[routed.query.tenant];
     if (tracer != nullptr && tracer->active()) {
       tracer->Span(TraceEventType::kQuery, tracer->AtUs(dispatched),
                    tracer->AtUs(completed), 0, 0,
@@ -424,8 +457,14 @@ void ThreadedCluster::ProcessorLoop(uint32_t p) {
 ClusterMetrics ThreadedCluster::Run(std::span<const Query> queries) {
   GROUTING_CHECK_MSG(!ran_, "ThreadedCluster::Run may only be called once");
   ran_ = true;
-  answers_.reserve(queries.size());
-  remaining_.store(queries.size(), std::memory_order_release);
+
+  // Per-tenant admission decisions, computed from the schedule's own
+  // timestamps before any thread spawns — identical to the simulated
+  // engine's plan for the same schedule, so both engines shed the same
+  // arrivals. Only admitted queries count towards run completion.
+  admission_plan_ = PlanAdmission(queries);
+  answers_.reserve(admission_plan_.admitted);
+  remaining_.store(admission_plan_.admitted, std::memory_order_release);
 
   // Static splitters cut the arrival stream into per-shard slices up front
   // (deterministic in arrival order, same cut the simulated engine's fleet
@@ -434,8 +473,11 @@ ClusterMetrics ThreadedCluster::Run(std::span<const Query> queries) {
   const uint32_t num_shards = static_cast<uint32_t>(shards_.size());
   std::vector<std::vector<Query>> slices(num_shards);
   if (!use_feeder_) {
-    for (const Query& q : queries) {
-      slices[splitter_.ShardFor(q)].push_back(q);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (!admission_plan_.Admitted(i)) {
+        continue;
+      }
+      slices[splitter_.ShardFor(queries[i])].push_back(queries[i]);
     }
   }
 
@@ -493,8 +535,9 @@ ClusterMetrics ThreadedCluster::Run(std::span<const Query> queries) {
     gossip_thread_ = std::thread([this] { GossipLoop(); });
   }
 
-  // Wait for completion, collecting answers as they arrive.
-  while (answers_.size() < queries.size()) {
+  // Wait for completion, collecting answers as they arrive. Shed arrivals
+  // never produce an answer, so completion is the admitted count.
+  while (answers_.size() < admission_plan_.admitted) {
     auto a = completions_.Pop();
     if (!a.has_value()) {
       break;
@@ -534,10 +577,16 @@ ClusterMetrics ThreadedCluster::Run(std::span<const Query> queries) {
       m.makespan_us > 0.0 ? static_cast<double>(m.queries) / (m.makespan_us / 1e6) : 0.0;
   LatencyHistogram response_us;
   RunningStat queue_wait_us;
+  std::vector<LatencyHistogram> tenant_response_us(config_.num_tenants);
+  std::vector<uint64_t> tenant_queries(config_.num_tenants, 0);
   m.queries_per_processor.assign(config_.num_processors, 0);
   for (uint32_t p = 0; p < config_.num_processors; ++p) {
     response_us.Merge(samples_[p].response_us);
     queue_wait_us.Merge(samples_[p].queue_wait_us);
+    for (uint32_t t = 0; t < config_.num_tenants; ++t) {
+      tenant_response_us[t].Merge(samples_[p].tenant_response_us[t]);
+      tenant_queries[t] += samples_[p].tenant_queries[t];
+    }
     m.queries_per_processor[p] = processors_[p]->stats().queries_executed;
   }
   FillLatencyStats(&m, response_us, queue_wait_us);
@@ -558,6 +607,7 @@ ClusterMetrics ThreadedCluster::Run(std::span<const Query> queries) {
   m.router_load_imbalance = RoutedLoadImbalance(m.queries_per_router_shard);
   AddStorageTierStats(&m);
   m.repartition_stall_us = repartition_stall_us_;
+  FillTenantMetrics(&m, tenant_response_us, tenant_queries, admission_plan_);
   return m;
 }
 

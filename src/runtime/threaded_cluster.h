@@ -93,6 +93,10 @@ class ThreadedCluster : public ClusterEngine {
   struct LatencySamples {
     LatencyHistogram response_us;
     RunningStat queue_wait_us;
+    // Per-tenant completion tracking (multi-tenant federation); sized
+    // config.num_tenants per processor, merged post-join.
+    std::vector<LatencyHistogram> tenant_response_us;
+    std::vector<uint64_t> tenant_queries;
   };
 
   void FeederLoop(std::span<const Query> queries);
@@ -137,7 +141,12 @@ class ThreadedCluster : public ClusterEngine {
   std::mutex splitter_mu_;
   RebalanceConfig rebalance_;
   bool adaptive_;    // adaptive splitter: rebalance at gossip ticks
-  bool use_feeder_;  // feeder + arrival-channel mode (adaptive or paced)
+  bool use_feeder_;  // feeder + arrival-channel mode (adaptive, paced, or
+                     // open-loop)
+  // Per-tenant admission decisions for the run's schedule, computed in
+  // Run() before any thread spawns (so feeder and pre-slice agree) and
+  // identical to the simulated engine's plan for the same schedule.
+  AdmissionPlan admission_plan_;
   std::vector<std::unique_ptr<MpmcQueue<Query>>> arrival_channels_;
   std::thread feeder_thread_;
   std::atomic<bool> arrivals_done_{false};

@@ -28,17 +28,27 @@ DecoupledClusterSim::DecoupledClusterSim(const Graph& graph, const ClusterConfig
 ClusterMetrics DecoupledClusterSim::Run(std::span<const Query> queries) {
   GROUTING_CHECK_MSG(!ran_, "DecoupledClusterSim::Run may only be called once");
   ran_ = true;
-  answers_.reserve(queries.size());
+
+  // Per-tenant admission decisions, shared with the threaded engine: shed
+  // arrivals never get an arrival event, so they never reach a router shard.
+  const AdmissionPlan plan = PlanAdmission(queries);
+  tenant_response_us_.resize(config_.num_tenants);
+  tenant_queries_.assign(config_.num_tenants, 0);
+  answers_.reserve(plan.admitted);
 
   std::unordered_map<uint64_t, SimTimeUs> arrival_time;
-  arrival_time.reserve(queries.size());
+  arrival_time.reserve(plan.admitted);
 
   // Arrivals: the splitter hands each query of the stream to its router
   // shard, which routes it on arrival; dispatch to a processor happens on
-  // that processor's ack.
+  // that processor's ack. Open-loop schedules arrive at their own
+  // arrive_us timestamps instead of the uniform arrival_gap_us pacing.
   for (size_t i = 0; i < queries.size(); ++i) {
+    if (!plan.Admitted(i)) {
+      continue;
+    }
     const Query q = queries[i];
-    const SimTimeUs t = config_.arrival_gap_us * static_cast<double>(i);
+    const SimTimeUs t = ArrivalTimeUs(q, i);
     events_.ScheduleAt(t, [this, q, &arrival_time] {
       arrival_time[q.id] = events_.now();
       const RouterFleet::RoutedArrival routed = fleet_->Enqueue(q);
@@ -87,8 +97,10 @@ ClusterMetrics DecoupledClusterSim::Run(std::span<const Query> queries) {
   // needs the tick chain, gated on a positive period exactly like gossip.
   if (fleet_->gossip_enabled() ||
       (repartition_enabled() && config_.gossip_period_us > 0.0)) {
+    // The tick chain stops when the ADMITTED queries drain — shed arrivals
+    // never produce an answer.
     events_.ScheduleAt(config_.gossip_period_us,
-                       [this, total = queries.size()] { GossipTick(total); });
+                       [this, total = plan.admitted] { GossipTick(total); });
   }
 
   events_.RunUntilEmpty(/*max_events=*/2'000'000'000ULL);
@@ -119,6 +131,7 @@ ClusterMetrics DecoupledClusterSim::Run(std::span<const Query> queries) {
   m.decompress_us = decompress_us_;
   AddStorageTierStats(&m);
   m.repartition_stall_us = repartition_stall_us_;
+  FillTenantMetrics(&m, tenant_response_us_, tenant_queries_, plan);
   return m;
 }
 
@@ -222,6 +235,8 @@ void DecoupledClusterSim::AdvanceLevel(uint32_t p) {
     // the router send the next query to this processor).
     const SimTimeUs response = events_.now() - f.dispatch_time;
     response_us_.Add(response);
+    tenant_response_us_[f.query.tenant].Add(response);
+    ++tenant_queries_[f.query.tenant];
     EmitSpan(p, TraceEventType::kQuery, f.dispatch_time, events_.now(), 0, 0,
              f.trace.level_stats.size());
     answers_.push_back(AnsweredQuery{f.query.id, p, f.result});

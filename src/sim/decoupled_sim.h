@@ -142,6 +142,10 @@ class DecoupledClusterSim : public ClusterEngine {
   std::vector<SimTimeUs> server_busy_until_;
   RunningStat queue_wait_us_;
   LatencyHistogram response_us_;
+  // Per-tenant completion tracking (multi-tenant federation); sized
+  // config.num_tenants, single-tenant runs use index 0 only.
+  std::vector<LatencyHistogram> tenant_response_us_;
+  std::vector<uint64_t> tenant_queries_;
   // Time of the last completion ack back at the router: the run's makespan.
   // Tracked explicitly so trailing gossip events cannot inflate it.
   SimTimeUs last_ack_us_ = 0.0;

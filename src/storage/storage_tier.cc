@@ -67,13 +67,25 @@ void StorageTier::LoadGraph(const Graph& g) {
   if (partition_map_ != nullptr) {
     partition_keys_.assign(partition_map_->num_partitions(), {});
   }
+  const uint64_t stride = g.num_nodes();
+  GROUTING_CHECK_MSG(
+      static_cast<uint64_t>(num_tenants_) * stride <=
+          static_cast<uint64_t>(kInvalidNode),
+      "tenant keyspaces overflow the node-id space");
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
     const auto blob = EncodeAdjacency(g, u, encoding_);
-    logical_bytes_loaded_ += g.AdjacencyBytes(u);
-    encoded_bytes_loaded_ += blob.size();
-    servers_[ServerOf(u)]->Load(u, blob);
-    if (partition_map_ != nullptr) {
-      partition_keys_[partition_map_->PartitionOf(u)].push_back(u);
+    // Encoded once, then written into every tenant's keyspace at the offset
+    // key u + t * num_nodes — so placement, repartitioning, and replication
+    // all operate on global keys with no tenant-specific code below here.
+    for (uint32_t t = 0; t < num_tenants_; ++t) {
+      const NodeId key =
+          static_cast<NodeId>(static_cast<uint64_t>(u) + t * stride);
+      logical_bytes_loaded_ += g.AdjacencyBytes(u);
+      encoded_bytes_loaded_ += blob.size();
+      servers_[ServerOf(key)]->Load(key, blob);
+      if (partition_map_ != nullptr) {
+        partition_keys_[partition_map_->PartitionOf(key)].push_back(key);
+      }
     }
   }
 }
@@ -82,6 +94,8 @@ void StorageTier::LoadGraph(const Graph& g, const PartitionAssignment& placement
   GROUTING_CHECK(placement.size() == g.num_nodes());
   GROUTING_CHECK_MSG(partition_map_ == nullptr,
                      "explicit placement is incompatible with repartitioning");
+  GROUTING_CHECK_MSG(num_tenants_ == 1,
+                     "multi-tenant federation requires hash placement");
   explicit_placement_ = placement;
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
     GROUTING_CHECK(placement[u] < servers_.size());

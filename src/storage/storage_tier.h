@@ -218,6 +218,17 @@ class StorageTier {
   void set_encoding(AdjacencyEncoding encoding) { encoding_ = encoding; }
   AdjacencyEncoding encoding() const { return encoding_; }
 
+  // Multi-tenant federation: LoadGraph(g) writes one keyspace copy of the
+  // graph per tenant, tenant t's node u stored under the global key
+  // u + t * num_nodes — placement, repartitioning, and replication operate
+  // on global keys unchanged. Set before LoadGraph; 1 (the default) is the
+  // classic single keyspace. Incompatible with explicit placement.
+  void set_num_tenants(uint32_t num_tenants) {
+    GROUTING_CHECK(num_tenants > 0);
+    num_tenants_ = num_tenants;
+  }
+  uint32_t num_tenants() const { return num_tenants_; }
+
   // Propagates retain-wire mode (see StorageServer::set_retain_wire) to
   // every server, and to this tier's own PeekCurrent decodes.
   void set_retain_wire(bool retain);
@@ -340,6 +351,7 @@ class StorageTier {
   std::vector<std::unique_ptr<StorageServer>> servers_;
   HashPartitioner hasher_;
   AdjacencyEncoding encoding_ = AdjacencyEncoding::kRaw;
+  uint32_t num_tenants_ = 1;
   bool retain_wire_ = false;
   uint64_t logical_bytes_loaded_ = 0;
   uint64_t encoded_bytes_loaded_ = 0;

@@ -12,15 +12,18 @@ but no current file fails, so a silently-dropped bench cannot pass.
 Only deterministic metrics should be gated: CI runs this on the simulated
 engine (virtual time), never on threaded wall-clock numbers.
 
-Two metrics are gated per row: the mean (--metric, default mean_response_ms,
---threshold 25%) and the tail (p99_response_ms, --p99-threshold, default
-40% — looser because log-bucketed histogram percentiles carry up to ~3.2%
-bucket error on top of genuine tail noise). Rows whose baseline predates the
-p99 field skip the tail check.
+Three metrics are gated per row: the mean (--metric, default
+mean_response_ms, --threshold 25%), the tail (p99_response_ms,
+--p99-threshold, default 40% — looser because log-bucketed histogram
+percentiles carry up to ~3.2% bucket error on top of genuine tail noise),
+and the extreme tail (p999_response_ms, --p999-threshold, default 50% —
+loosest: at bench sample sizes p999 sits on a handful of queries). Rows
+whose baseline predates a tail field skip that check.
 
 Usage:
   tools/check_bench_regression.py --current <dir> [--baseline bench/baselines]
       [--threshold 0.25] [--metric mean_response_ms] [--p99-threshold 0.40]
+      [--p999-threshold 0.50]
 """
 
 import argparse
@@ -49,11 +52,16 @@ def main():
     ap.add_argument("--p99-metric", default="p99_response_ms")
     ap.add_argument("--p99-threshold", type=float, default=0.40,
                     help="tail-latency tolerance (0 disables the p99 gate)")
+    ap.add_argument("--p999-metric", default="p999_response_ms")
+    ap.add_argument("--p999-threshold", type=float, default=0.50,
+                    help="extreme-tail tolerance (0 disables the p999 gate)")
     args = ap.parse_args()
 
     gates = [(args.metric, args.threshold)]
     if args.p99_threshold > 0:
         gates.append((args.p99_metric, args.p99_threshold))
+    if args.p999_threshold > 0:
+        gates.append((args.p999_metric, args.p999_threshold))
 
     baselines = sorted(glob.glob(os.path.join(args.baseline, "BENCH_*.json")))
     if not baselines:

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Multi-tenant soak gate.
+
+Consumes the per-tenant metrics JSON files grouting_cli writes with
+--tenant-metrics-out (one per engine) and fails (exit 1) unless admission
+control behaved exactly as specified on every run:
+
+  * in-quota tenants (every tenant NOT listed in --expect-shed-tenants)
+    shed exactly 0 arrivals — quotas must never drop admitted-tier traffic,
+  * every expected over-quota tenant actually shed (> 0) and stayed under
+    --max-shed-rate — shedding is bounded, not a collapse,
+  * the per-file ledger balances: answered + shed_total == arrivals and
+    answered == sum(per-tenant queries),
+  * across files (engines), per-tenant admitted/shed counts and the
+    order-independent answer checksum are identical — both engines executed
+    the same admission plan and produced the same answers exactly once.
+
+Usage:
+  tools/check_soak.py soak/tenant_metrics_sim.json \
+      soak/tenant_metrics_threaded.json \
+      [--expect-shed-tenants 0] [--max-shed-rate 0.6]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def check_file(doc, path, expect_shed, max_shed_rate, failures):
+    arrivals = doc["arrivals"]
+    answered = doc["answered"]
+    shed_total = doc["shed_total"]
+    per_tenant = doc["per_tenant"]
+
+    if answered + shed_total != arrivals:
+        failures.append(f"{path}: answered {answered} + shed {shed_total} != "
+                        f"arrivals {arrivals}")
+    if sum(t["queries"] for t in per_tenant) != answered:
+        failures.append(f"{path}: per-tenant queries do not sum to answered "
+                        f"{answered}")
+    if sum(t["shed"] for t in per_tenant) != shed_total:
+        failures.append(f"{path}: per-tenant sheds do not sum to shed_total "
+                        f"{shed_total}")
+
+    for t in per_tenant:
+        tid, shed, rate = t["tenant"], t["shed"], t["shed_rate"]
+        if tid in expect_shed:
+            if shed == 0:
+                failures.append(f"{path}: tenant {tid} was expected over quota "
+                                f"but shed nothing")
+            if rate > max_shed_rate:
+                failures.append(f"{path}: tenant {tid} shed rate {rate:.3f} "
+                                f"exceeds bound {max_shed_rate}")
+        elif shed != 0:
+            failures.append(f"{path}: in-quota tenant {tid} shed {shed} "
+                            f"arrivals (must be exactly 0)")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("files", nargs="+", help="tenant metrics JSON, one per engine")
+    ap.add_argument("--expect-shed-tenants", default="",
+                    help="comma-separated tenant ids allowed (and required) to shed")
+    ap.add_argument("--max-shed-rate", type=float, default=0.6,
+                    help="shed-rate bound for each expected over-quota tenant")
+    args = ap.parse_args()
+
+    expect_shed = {int(t) for t in args.expect_shed_tenants.split(",") if t != ""}
+    docs = [(path, load(path)) for path in args.files]
+
+    failures = []
+    for path, doc in docs:
+        check_file(doc, path, expect_shed, args.max_shed_rate, failures)
+
+    # Cross-engine exactly-once: identical admission plan and answer set.
+    ref_path, ref = docs[0]
+    for path, doc in docs[1:]:
+        if doc["answer_checksum"] != ref["answer_checksum"]:
+            failures.append(f"{path}: answer checksum {doc['answer_checksum']} != "
+                            f"{ref_path}'s {ref['answer_checksum']}")
+        ref_counts = {t["tenant"]: (t["queries"], t["shed"]) for t in ref["per_tenant"]}
+        counts = {t["tenant"]: (t["queries"], t["shed"]) for t in doc["per_tenant"]}
+        if counts != ref_counts:
+            failures.append(f"{path}: per-tenant admitted/shed counts diverge "
+                            f"from {ref_path}")
+
+    for path, doc in docs:
+        shed = doc["shed_total"]
+        rate = shed / doc["arrivals"] if doc["arrivals"] else 0.0
+        print(f"{path}: engine={doc['engine']} tenants={doc['tenants']} "
+              f"arrivals={doc['arrivals']} answered={doc['answered']} "
+              f"shed={shed} ({100 * rate:.1f}%) "
+              f"checksum={doc['answer_checksum']}")
+
+    if failures:
+        print("\nSOAK GATE FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("soak gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
