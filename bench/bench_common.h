@@ -211,7 +211,9 @@ inline void WriteBenchJson(const std::string& name,
                    "\"adjacency_compression_ratio\": %.6g, \"cache_entries\": %llu, "
                    "\"decompress_us\": %.6g, \"bytes_from_storage\": %llu, "
                    "\"tenants\": %u, \"queries_shed\": %llu, \"shed_rate\": %.6g, "
-                   "\"max_tenant_p99_ms\": %.6g, \"max_tenant_p999_ms\": %.6g}",
+                   "\"max_tenant_p99_ms\": %.6g, \"max_tenant_p999_ms\": %.6g, "
+                   "\"mutations_applied\": %llu, \"index_refreshes\": %llu, "
+                   "\"stale_distance_error\": %.6g}",
                    m.throughput_qps, m.mean_response_ms, m.p50_response_ms,
                    m.p95_response_ms, m.p99_response_ms, m.p999_response_ms,
                    m.CacheHitRate(), static_cast<unsigned long long>(m.cache_hits),
@@ -229,7 +231,10 @@ inline void WriteBenchJson(const std::string& name,
                    static_cast<unsigned long long>(m.bytes_from_storage),
                    static_cast<unsigned>(std::max<size_t>(1, m.per_tenant.size())),
                    static_cast<unsigned long long>(m.queries_shed), ShedRateOf(m),
-                   MaxTenantPercentile(m, false), MaxTenantPercentile(m, true));
+                   MaxTenantPercentile(m, false), MaxTenantPercentile(m, true),
+                   static_cast<unsigned long long>(m.mutations_applied),
+                   static_cast<unsigned long long>(m.index_refreshes),
+                   m.stale_distance_error);
       first = false;
     }
   }

@@ -1,11 +1,20 @@
-// Figure 10: robustness to graph updates. Preprocessing (landmarks,
-// embedding) runs on an induced subgraph of X% of the nodes; the remaining
-// nodes are added incrementally (neighbour-estimated landmark distances,
-// incremental embedding) WITHOUT recomputing anything; queries always run
-// over the full graph.
+// Figure 10: robustness to graph updates, on the REAL write path.
+// Preprocessing (landmarks, embedding) runs on an induced subgraph of X% of
+// the nodes; the storage tier preloads only those nodes
+// (ClusterConfig::mutation_preload_keep) and the remaining nodes stream in
+// as live kAddVertex mutations WHILE the workload runs — versioned blob
+// writes, compressed-cache invalidation, and incremental index maintenance
+// (neighbour-estimated landmark distances / incremental embedding
+// coordinates) on the gossip cadence. Queries always run over the full
+// graph, so early queries can land on not-yet-materialised nodes exactly as
+// in a live ingest.
 //
 // Paper: embed's response time degrades only ~3ms from 100%->80%
 // preprocessing, approaching hash routing's level at 20%.
+
+#include <algorithm>
+#include <memory>
+#include <span>
 
 #include "bench/bench_common.h"
 
@@ -23,24 +32,54 @@ std::vector<ResultRow>& Rows() {
   return rows;
 }
 
+// Deterministic keep mask: ~`fraction` of the nodes are preloaded and
+// preprocessed; the rest stream in as live vertex adds.
+std::vector<uint8_t> KeepMask(const Graph& g, double fraction) {
+  Rng rng(31);
+  std::vector<uint8_t> keep(g.num_nodes(), 1);
+  if (fraction < 1.0) {
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      keep[u] = rng.NextBool(fraction);
+    }
+  }
+  return keep;
+}
+
+// Vertex-add-only schedule materialising every withheld node, one every
+// 50us of run time (virtual on sim, wall on threaded).
+std::vector<GraphMutation> IngestSchedule(const Graph& g,
+                                          const std::vector<uint8_t>& keep) {
+  MutationScheduleConfig mc;
+  mc.num_mutations = static_cast<size_t>(
+      std::count(keep.begin(), keep.end(), static_cast<uint8_t>(0)));
+  mc.gap_us = 50.0;
+  mc.weight_add_edge = 0.0;
+  mc.weight_remove_edge = 0.0;
+  mc.seed = 1031;
+  return GenerateMutationSchedule(g, keep, mc);
+}
+
 ClusterMetrics RunWithPreprocessedFraction(RoutingSchemeKind scheme, double fraction) {
   const Graph& g = Env().graph();
   auto queries = Env().HotspotWorkload(/*r=*/2, /*h=*/2, ScaledHotspots());
 
-  // Unified engine config at the paper's defaults (ample cache).
-  const ClusterConfig cc = Env().MakeClusterConfig(RunOptions{});
+  // Unified engine config at the paper's defaults (ample cache) with the
+  // online write path on: the tier preloads only the kept nodes.
+  RunOptions opts;
+  opts.enable_mutations = true;
+  ClusterConfig cc = Env().MakeClusterConfig(opts);
+  const std::vector<uint8_t> keep = KeepMask(g, fraction);
+  cc.mutation_preload_keep = keep;
+  const auto schedule = IngestSchedule(g, keep);
 
   if (scheme == RoutingSchemeKind::kHash) {
-    return MakeClusterEngine(BenchEngine(), g, cc, std::make_unique<HashStrategy>())
-        ->Run(queries);
+    auto engine =
+        MakeClusterEngine(BenchEngine(), g, cc, std::make_unique<HashStrategy>());
+    engine->set_mutation_schedule(schedule);
+    return engine->Run(queries);
   }
 
-  // Preprocess on the induced subgraph of `fraction` of nodes.
-  Rng rng(31);
-  std::vector<uint8_t> keep(g.num_nodes(), 0);
-  for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    keep[u] = rng.NextBool(fraction);
-  }
+  // Preprocess on the induced subgraph of the kept nodes only.
   LandmarkConfig lc;
   lc.seed = 7;
   auto lms = LandmarkSet::Select(g, lc, &keep);
@@ -48,29 +87,44 @@ ClusterMetrics RunWithPreprocessedFraction(RoutingSchemeKind scheme, double frac
   if (scheme == RoutingSchemeKind::kLandmark) {
     auto index = std::make_unique<LandmarkIndex>(
         LandmarkIndex::Build(std::move(lms), cc.num_processors));
-    // Incrementally add the hidden nodes in random order, estimates only.
-    for (NodeId u = 0; u < g.num_nodes(); ++u) {
-      if (!keep[u]) {
-        index->AddNodeIncremental(g, u);
-      }
-    }
     auto strategy =
         std::make_unique<LandmarkStrategy>(index.get(), PaperDefaults::kLoadFactor);
-    return MakeClusterEngine(BenchEngine(), g, cc, std::move(strategy))->Run(queries);
+    auto engine = MakeClusterEngine(BenchEngine(), g, cc, std::move(strategy));
+    engine->set_mutation_schedule(schedule);
+    engine->set_index_maintainer(
+        [idx = index.get(), &g](std::span<const NodeId> nodes) {
+          IndexRefreshResult r;
+          r.nodes_refreshed = idx->RefreshNodes(g, nodes);
+          return r;
+        });
+    return engine->Run(queries);
   }
 
-  // Embed scheme.
+  // Embed scheme: incremental coordinates for streamed-in nodes, plus a
+  // small relative-error probe per refresh pass (the run's
+  // stale_distance_error is the mean over these samples).
   EmbedConfig ec;
   ec.seed = 8;
   auto emb = std::make_unique<GraphEmbedding>(GraphEmbedding::Build(lms, ec));
-  for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    if (!keep[u]) {
-      emb->AddNodeIncremental(g, u, lms);
-    }
-  }
   auto strategy = std::make_unique<EmbedStrategy>(
       emb.get(), PaperDefaults::kAlpha, PaperDefaults::kLoadFactor, cc.num_processors);
-  return MakeClusterEngine(BenchEngine(), g, cc, std::move(strategy))->Run(queries);
+  auto engine = MakeClusterEngine(BenchEngine(), g, cc, std::move(strategy));
+  engine->set_mutation_schedule(schedule);
+  auto lms_box = std::make_shared<LandmarkSet>(std::move(lms));
+  engine->set_index_maintainer(
+      [e = emb.get(), lms_box, &g, pass = uint64_t{0}](
+          std::span<const NodeId> nodes) mutable {
+        IndexRefreshResult r;
+        r.nodes_refreshed = e->RefreshNodes(g, nodes, *lms_box);
+        constexpr size_t kErrorSamples = 16;
+        Rng err_rng(977 + ++pass);
+        const double mean =
+            e->MeasureRelativeError(g, kErrorSamples, /*radius=*/2, err_rng);
+        r.error_sum = mean * static_cast<double>(kErrorSamples);
+        r.error_samples = kErrorSamples;
+        return r;
+      });
+  return engine->Run(queries);
 }
 
 void BM_Fig10(benchmark::State& state) {
@@ -83,6 +137,8 @@ void BM_Fig10(benchmark::State& state) {
     m = RunWithPreprocessedFraction(scheme, fraction);
   }
   SetCounters(state, m);
+  state.counters["mutations_applied"] = static_cast<double>(m.mutations_applied);
+  state.counters["index_refreshes"] = static_cast<double>(m.index_refreshes);
   char label[96];
   std::snprintf(label, sizeof(label), "%s preprocessed=%d%%",
                 RoutingSchemeKindName(scheme).c_str(), static_cast<int>(state.range(1)));
@@ -93,7 +149,8 @@ BENCHMARK(BM_Fig10)
     ->ArgsProduct({{0, 1}, {20, 40, 60, 80, 100}})
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
-// Hash doesn't depend on preprocessing; one reference point.
+// Hash doesn't depend on preprocessing; one reference point (still runs the
+// same live-ingest schedule so throughput is comparable).
 BENCHMARK(BM_Fig10)->Args({2, 100})->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
@@ -104,7 +161,8 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   grouting::bench::PrintMetricsTable(
-      "Figure 10: response vs fraction of graph available at preprocessing",
+      "Figure 10: response vs fraction of graph available at preprocessing "
+      "(remaining nodes stream in as live mutations)",
       grouting::bench::Rows());
   grouting::bench::PrintPaperShape(
       "smart routing degrades gracefully: ~100%->80% costs only a few percent; at 20% "

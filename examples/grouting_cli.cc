@@ -121,6 +121,13 @@ void PrintHelp() {
       "                           (default 1.1)\n"
       "  --tenant-metrics-out=<file>  write per-tenant admission/latency\n"
       "                           metrics + answer checksum as JSON\n"
+      "  --mutation-fraction=<frac>  fraction of open-loop arrivals converted\n"
+      "                           to live graph writes (enables the versioned\n"
+      "                           mutation path; requires --open-loop;\n"
+      "                           default 0 = read-only)\n"
+      "  --index-refresh-period=<µs>  minimum time between incremental\n"
+      "                           index-maintenance passes on the gossip\n"
+      "                           cadence (default 0 = every gossip tick)\n"
       "  --seed=<int>\n");
 }
 
@@ -128,10 +135,18 @@ void PrintHelp() {
 // id and result fields through a SplitMix64 chain into one 64-bit word, and
 // the words XOR together — so the value is identical across engines
 // regardless of completion order (the soak pipeline's exactly-once check).
-uint64_t AnswerChecksum(const std::vector<AnsweredQuery>& answers) {
+// With `ids_only`, only query ids are folded: under concurrent mutations
+// the VALUE a query observes legitimately depends on whether the write
+// landed first (engine timing), but the SET of answered ids must still
+// match exactly-once across engines.
+uint64_t AnswerChecksum(const std::vector<AnsweredQuery>& answers, bool ids_only) {
   uint64_t sum = 0;
   for (const AnsweredQuery& a : answers) {
     SplitMix64 chain(a.query_id);
+    if (ids_only) {
+      sum ^= chain.Next();
+      continue;
+    }
     uint64_t w = chain.Next();
     chain = SplitMix64(w ^ static_cast<uint64_t>(a.result.type));
     w = chain.Next();
@@ -161,10 +176,13 @@ bool WriteTenantMetricsJson(const std::string& path, const std::string& engine,
                "{\n  \"engine\": \"%s\",\n  \"tenants\": %u,\n"
                "  \"quota_qps\": %.6g,\n  \"arrivals\": %zu,\n"
                "  \"answered\": %llu,\n  \"shed_total\": %llu,\n"
+               "  \"mutations_applied\": %llu,\n  \"index_refreshes\": %llu,\n"
                "  \"answer_checksum\": \"%016llx\",\n  \"per_tenant\": [",
                engine.c_str(), opts.num_tenants, opts.tenant_quota_qps, arrivals,
                static_cast<unsigned long long>(m.queries),
                static_cast<unsigned long long>(m.queries_shed),
+               static_cast<unsigned long long>(m.mutations_applied),
+               static_cast<unsigned long long>(m.index_refreshes),
                static_cast<unsigned long long>(checksum));
   for (size_t i = 0; i < m.per_tenant.size(); ++i) {
     const TenantMetrics& t = m.per_tenant[i];
@@ -307,6 +325,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--num-tenants must be >= 1\n");
     return 1;
   }
+  const double mutation_fraction = flags.GetDouble("mutation-fraction", 0.0);
+  if (mutation_fraction < 0.0 || mutation_fraction > 1.0) {
+    std::fprintf(stderr, "--mutation-fraction must be in [0, 1]\n");
+    return 1;
+  }
+  if (mutation_fraction > 0.0 && !opts.open_loop) {
+    std::fprintf(stderr, "--mutation-fraction requires --open-loop\n");
+    return 1;
+  }
+  opts.enable_mutations = mutation_fraction > 0.0;
+  opts.index_refresh_period_us = flags.GetDouble("index-refresh-period", 0.0);
 
   const Graph& g = env.graph();
   std::printf("dataset %s (scale %.2f): %zu nodes, %zu edges\n", dataset_name.c_str(),
@@ -318,6 +347,7 @@ int main(int argc, char** argv) {
   // Assembled by hand (rather than env.Run) so the engine outlives the run:
   // the trace export reads the recorder after the metrics come back.
   std::vector<Query> workload;
+  std::vector<GraphMutation> mutations;
   if (opts.open_loop) {
     OpenLoopConfig ol;
     ol.num_tenants = opts.num_tenants;
@@ -329,13 +359,27 @@ int main(int argc, char** argv) {
     ol.session_skew = flags.GetDouble("session-skew", 1.1);
     ol.hops = opts.hops;
     ol.seed = env.seed() ^ 0x99;
-    workload = GenerateOpenLoopWorkload(env.graph(), ol);
+    if (mutation_fraction > 0.0) {
+      // Mixed read/write stream from one arrival process: a deterministic
+      // slice of the arrivals becomes live edge writes at the same instants.
+      MutationScheduleConfig mc;
+      mc.seed = env.seed() ^ 0x66;
+      MixedWorkload mixed =
+          GenerateMixedOpenLoopWorkload(env.graph(), ol, mutation_fraction, mc);
+      workload = std::move(mixed.queries);
+      mutations = std::move(mixed.mutations);
+    } else {
+      workload = GenerateOpenLoopWorkload(env.graph(), ol);
+    }
   } else {
     workload = env.HotspotWorkload(opts.hotspot_radius, opts.hops, opts.num_hotspots,
                                    opts.queries_per_hotspot);
   }
   auto cluster = MakeClusterEngine(engine, env.graph(), env.MakeClusterConfig(opts),
                                    env.MakeStrategy(opts));
+  if (!mutations.empty()) {
+    cluster->set_mutation_schedule(std::move(mutations));
+  }
   const ClusterMetrics m = cluster->Run(workload);
 
   if (!trace_out.empty()) {
@@ -420,6 +464,13 @@ int main(int argc, char** argv) {
                 Table::Int(static_cast<int64_t>(m.sticky_evictions))});
     }
   }
+  if (opts.enable_mutations) {
+    t.AddRow({"mutations applied",
+              Table::Int(static_cast<int64_t>(m.mutations_applied))});
+    t.AddRow({"index refreshes",
+              Table::Int(static_cast<int64_t>(m.index_refreshes))});
+    t.AddRow({"stale distance error", Table::Num(m.stale_distance_error, 4)});
+  }
   if (opts.num_tenants > 1 || opts.tenant_quota_qps > 0.0) {
     t.AddRow({"tenants", Table::Int(static_cast<int64_t>(opts.num_tenants))});
     t.AddRow({"queries shed", Table::Int(static_cast<int64_t>(m.queries_shed))});
@@ -433,7 +484,10 @@ int main(int argc, char** argv) {
   std::printf("%s", t.ToString().c_str());
 
   if (!tenant_metrics_out.empty()) {
-    const uint64_t checksum = AnswerChecksum(cluster->answers());
+    // Under concurrent mutations the observed values depend on engine
+    // timing; exactly-once is then asserted over the answered-id set.
+    const uint64_t checksum =
+        AnswerChecksum(cluster->answers(), /*ids_only=*/opts.enable_mutations);
     if (WriteTenantMetricsJson(tenant_metrics_out, engine_name, opts, workload.size(),
                                m, checksum)) {
       std::printf("wrote tenant metrics: %s\n", tenant_metrics_out.c_str());

@@ -63,8 +63,26 @@ ClusterEngine::ClusterEngine(const Graph& graph, const ClusterConfig& config,
       storage_->EnableReplication();
     }
   }
+  if (config_.enable_mutations) {
+    // Versioned write path: counters must exist before the load below so
+    // LoadGraphSubset can register withheld keys. The graph reference is
+    // the mutation universe (kAddVertex materialises from it), so callers
+    // keep it alive across Run — same lifetime rule every engine already
+    // has for traversal.
+    storage_->EnableMutations(graph);
+  } else {
+    GROUTING_CHECK_MSG(config_.mutation_preload_keep.empty(),
+                       "mutation_preload_keep requires enable_mutations");
+  }
   if (placement != nullptr) {
+    GROUTING_CHECK_MSG(config_.mutation_preload_keep.empty(),
+                       "a preload keep mask is incompatible with an explicit "
+                       "storage placement");
     storage_->LoadGraph(graph, *placement);
+  } else if (!config_.mutation_preload_keep.empty()) {
+    GROUTING_CHECK_MSG(config_.mutation_preload_keep.size() == graph.num_nodes(),
+                       "mutation_preload_keep must be sized num_nodes");
+    storage_->LoadGraphSubset(graph, config_.mutation_preload_keep);
   } else {
     storage_->LoadGraph(graph);
   }
@@ -164,6 +182,83 @@ std::vector<StorageTier::MigrationResult> ClusterEngine::RepartitionRound() {
     }
   }
   return executed;
+}
+
+void ClusterEngine::set_mutation_schedule(std::vector<GraphMutation> schedule) {
+  GROUTING_CHECK_MSG(config_.enable_mutations,
+                     "set_mutation_schedule requires enable_mutations");
+  GROUTING_CHECK_MSG(!ran_, "set the mutation schedule before Run()");
+  mutation_schedule_ = std::move(schedule);
+  // Stable by apply_us: entries at the same offset keep schedule order, so
+  // both engines apply identical sequences.
+  std::stable_sort(mutation_schedule_.begin(), mutation_schedule_.end(),
+                   [](const GraphMutation& a, const GraphMutation& b) {
+                     return a.apply_us < b.apply_us;
+                   });
+}
+
+void ClusterEngine::set_index_maintainer(IndexMaintainer maintainer) {
+  GROUTING_CHECK_MSG(config_.enable_mutations,
+                     "set_index_maintainer requires enable_mutations");
+  GROUTING_CHECK_MSG(!ran_, "set the index maintainer before Run()");
+  index_maintainer_ = std::move(maintainer);
+}
+
+uint64_t ClusterEngine::ApplyOneMutation(const GraphMutation& m) {
+  const uint64_t writes = storage_->ApplyMutation(m);
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  ++mutations_applied_;
+  pending_refresh_.push_back(m.u);
+  if (m.v != kInvalidNode) {
+    pending_refresh_.push_back(m.v);
+  }
+  return writes;
+}
+
+void ClusterEngine::ApplyQuiescedMutations() {
+  for (const GraphMutation& m : mutation_schedule_) {
+    if (m.apply_us <= 0.0) {
+      ApplyOneMutation(m);
+    }
+  }
+}
+
+uint64_t ClusterEngine::RunIndexMaintenance(double now_us) {
+  if (!config_.enable_mutations) {
+    return 0;
+  }
+  if (config_.index_refresh_period_us > 0.0 &&
+      now_us - last_index_refresh_us_ < config_.index_refresh_period_us) {
+    return 0;  // gated: dirty nodes stay pending for a later tick
+  }
+  std::vector<NodeId> dirty;
+  {
+    std::lock_guard<std::mutex> lock(mutation_mu_);
+    dirty.swap(pending_refresh_);
+  }
+  if (dirty.empty()) {
+    return 0;
+  }
+  last_index_refresh_us_ = now_us;
+  // Canonical order regardless of which thread dirtied what first, so the
+  // maintainer sees an engine-independent node list.
+  std::sort(dirty.begin(), dirty.end());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+  ++index_refreshes_;
+  if (index_maintainer_) {
+    const IndexRefreshResult r = index_maintainer_(dirty);
+    stale_error_sum_ += r.error_sum;
+    stale_error_samples_ += r.error_samples;
+  }
+  return dirty.size();
+}
+
+void ClusterEngine::AddMutationStats(ClusterMetrics* m) const {
+  m->mutations_applied = mutations_applied_;
+  m->index_refreshes = index_refreshes_;
+  m->stale_distance_error =
+      stale_error_sum_ /
+      static_cast<double>(std::max<uint64_t>(1, stale_error_samples_));
 }
 
 double ClusterEngine::ArrivalTimeUs(const Query& q, size_t index) const {

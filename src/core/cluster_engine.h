@@ -21,7 +21,10 @@
 #define GROUTING_SRC_CORE_CLUSTER_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
+#include <limits>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -171,6 +174,28 @@ struct ClusterConfig {
   // paces them in wall time from the run's epoch.
   bool open_loop_arrivals = false;
 
+  // --- Online graph mutations (StorageTier::ApplyMutation) ---
+  // Versioned write path: the tier allocates one monotonic version counter
+  // per global key, processor caches re-validate hits against it, and the
+  // engine accepts a mutation schedule (set_mutation_schedule) that both
+  // engines apply identically — the sim as virtual-time events charging
+  // CostModel::mutation_* terms, the threaded runtime via a writer thread
+  // pacing each entry's apply_us from the run epoch. false keeps every
+  // read path metric-identical to the read-only engine.
+  bool enable_mutations = false;
+  // Nodes preloaded before the run when mutations are on: keep[u] != 0
+  // loads node u's adjacency up front, keep[u] == 0 withholds it until a
+  // kAddVertex mutation materialises it (the fig10 "X% preprocessed"
+  // protocol). Sized num_nodes, or empty = preload everything. Requires
+  // enable_mutations and no explicit storage placement.
+  std::vector<uint8_t> mutation_preload_keep;
+  // Minimum gap between incremental index-refresh passes (virtual µs on
+  // the simulated engine, wall µs on the threaded one). Refresh rides the
+  // gossip cadence: at each gossip tick at least this far from the last
+  // pass, nodes dirtied by mutations since then are drained to the
+  // registered index maintainer. 0 = refresh at every gossip tick.
+  double index_refresh_period_us = 0.0;
+
   // The storage-rebalancer policy the knobs above lower to. enabled() /
   // replication_enabled() / active() on the result are the single source of
   // truth for whether migration and/or replication run — the engine and
@@ -312,6 +337,18 @@ struct ClusterMetrics {
   // control at the splitter. Shed queries never reach a router shard and
   // are not counted in `queries` (0 when quotas are off).
   uint64_t queries_shed = 0;
+  // Online mutations: schedule entries applied over the run (each entry
+  // counts once, however many tenant keyspaces / blobs it rewrote; 0 with
+  // mutations off).
+  uint64_t mutations_applied = 0;
+  // Incremental index-maintenance passes that drained at least one dirty
+  // node to the maintainer on the gossip cadence (counted even when no
+  // maintainer is registered — the drain itself is the pass).
+  uint64_t index_refreshes = 0;
+  // Mean stale-index distance error reported by the maintainer across all
+  // refresh passes (paper fig 12(a)'s relative-error metric when the
+  // embedding maintainer is wired; 0 with no maintainer or no samples).
+  double stale_distance_error = 0.0;
   // Per-tenant slice of the run, indexed by tenant id; a single-tenant run
   // reports one row mirroring the run totals.
   std::vector<TenantMetrics> per_tenant;
@@ -330,6 +367,25 @@ struct AnsweredQuery {
   uint32_t processor = 0;
   QueryResult result;
 };
+
+// What one incremental index-refresh pass did: how many dirty nodes the
+// maintainer re-estimated, plus an optional staleness measurement (summed
+// error over `error_samples` probes) that aggregates into
+// ClusterMetrics::stale_distance_error.
+struct IndexRefreshResult {
+  uint64_t nodes_refreshed = 0;
+  double error_sum = 0.0;
+  uint64_t error_samples = 0;
+};
+
+// Incremental index maintenance hook: called on the gossip cadence with the
+// sorted, deduplicated node ids dirtied by mutations since the last pass
+// (tenant-local universe ids). Implementations typically call
+// LandmarkIndex::AddNodeIncremental / RefreshAroundEdge and
+// GraphEmbedding::AddNodeIncremental. Invoked with all router-shard
+// strategy locks held on the threaded engine, so it may touch the routing
+// strategy's index state race-free.
+using IndexMaintainer = std::function<IndexRefreshResult(std::span<const NodeId>)>;
 
 class ClusterEngine {
  public:
@@ -360,6 +416,20 @@ class ClusterEngine {
   // (src/obs/trace_export.h), appending engine/sampling entries to
   // `metadata`. Returns false when tracing was off or the write failed.
   bool ExportTrace(const std::string& path, TraceMetadata metadata = {}) const;
+
+  // Installs the mutation schedule Run() applies (requires
+  // config.enable_mutations; call before Run). Entries with apply_us <= 0
+  // are applied quiesced at the start of the run, before any query is
+  // dispatched — that is the deterministic, parity-testable mode. Timed
+  // entries are stably sorted by apply_us and applied at that offset: as
+  // virtual-time events on the simulated engine, by a wall-clock writer
+  // thread on the threaded one.
+  void set_mutation_schedule(std::vector<GraphMutation> schedule);
+
+  // Registers the incremental index-maintenance hook driven on the gossip
+  // cadence (see IndexMaintainer; call before Run). Optional: without it,
+  // dirty nodes are still drained and counted as index_refreshes.
+  void set_index_maintainer(IndexMaintainer maintainer);
 
  protected:
   // Shared cluster assembly: validates the config, loads the graph into a
@@ -430,6 +500,35 @@ class ClusterEngine {
   // are).
   std::vector<StorageTier::MigrationResult> RepartitionRound();
 
+  // Applies one schedule entry against the tier, counts it, and marks the
+  // touched nodes dirty for the next index-refresh pass. Returns the blob
+  // writes the tier performed (the sim's mutation_per_write_us multiplier).
+  // Thread-safe (the tier serialises writes; the dirty list is locked).
+  uint64_t ApplyOneMutation(const GraphMutation& m);
+
+  // Applies every apply_us <= 0 schedule entry. Engines call this at the
+  // start of Run(), before any query dispatch or worker thread exists.
+  void ApplyQuiescedMutations();
+
+  // One index-maintenance pass at schedule time `now_us`: honours
+  // config.index_refresh_period_us against the previous pass, drains the
+  // dirty-node list (sorted, deduplicated) into the registered maintainer,
+  // and accumulates the refresh/staleness counters. Returns the number of
+  // nodes drained (0 when gated or clean) — the sim's
+  // index_refresh_per_node_us multiplier. Must be called from the engine's
+  // serialised controller context (sim event loop / threaded gossip tick).
+  uint64_t RunIndexMaintenance(double now_us);
+
+  // Mutation counters into `m` (mutations_applied, index_refreshes,
+  // stale_distance_error).
+  void AddMutationStats(ClusterMetrics* m) const;
+
+  // The installed schedule, stably sorted by apply_us (empty without
+  // mutations). Timed entries are the ones with apply_us > 0.
+  const std::vector<GraphMutation>& mutation_schedule() const {
+    return mutation_schedule_;
+  }
+
   ClusterConfig config_;
   std::unique_ptr<StorageTier> storage_;
   std::vector<std::unique_ptr<QueryProcessor>> processors_;
@@ -444,6 +543,19 @@ class ClusterEngine {
   uint64_t partitions_migrated_ = 0;
   uint64_t replica_promotions_ = 0;
   uint64_t replica_demotions_ = 0;
+  // Online mutations: the installed schedule, the dirty-node list awaiting
+  // the next index-refresh pass (guarded by mutation_mu_ — the threaded
+  // writer thread appends while the gossip tick drains), and the counters
+  // behind AddMutationStats.
+  std::vector<GraphMutation> mutation_schedule_;
+  IndexMaintainer index_maintainer_;
+  std::mutex mutation_mu_;
+  std::vector<NodeId> pending_refresh_;
+  uint64_t mutations_applied_ = 0;
+  uint64_t index_refreshes_ = 0;
+  double stale_error_sum_ = 0.0;
+  uint64_t stale_error_samples_ = 0;
+  double last_index_refresh_us_ = -std::numeric_limits<double>::infinity();
   bool ran_ = false;
 };
 

@@ -142,6 +142,8 @@ ClusterConfig ExperimentEnv::MakeClusterConfig(const RunOptions& options) {
   config.tenant_quota_qps = options.tenant_quota_qps;
   config.tenant_quota_burst = options.tenant_quota_burst;
   config.open_loop_arrivals = options.open_loop;
+  config.enable_mutations = options.enable_mutations;
+  config.index_refresh_period_us = options.index_refresh_period_us;
   return config;
 }
 
@@ -156,6 +158,13 @@ ClusterMetrics ExperimentEnv::Run(EngineKind engine, const RunOptions& options,
 
   auto cluster = MakeClusterEngine(engine, graph(), MakeClusterConfig(options),
                                    MakeStrategy(options));
+  if (options.enable_mutations && options.num_mutations > 0) {
+    MutationScheduleConfig mc;
+    mc.num_mutations = options.num_mutations;
+    mc.gap_us = options.mutation_gap_us;
+    mc.seed = seed_ ^ 0x66;
+    cluster->set_mutation_schedule(GenerateMutationSchedule(graph(), {}, mc));
+  }
   return cluster->Run(queries);
 }
 

@@ -24,6 +24,7 @@
 #include "src/landmark/landmark_index.h"
 #include "src/routing/strategy.h"
 #include "src/workload/datasets.h"
+#include "src/workload/mutations.h"
 #include "src/workload/workload.h"
 
 namespace grouting {
@@ -112,6 +113,16 @@ struct RunOptions {
   double tenant_quota_qps = 0.0;
   double tenant_quota_burst = 32.0;
   bool open_loop = false;
+  // Online graph mutations (src/workload/mutations.h): enable the storage
+  // tier's versioned write path, and — when num_mutations > 0 — generate a
+  // deterministic edge-mutation schedule (seed = env seed ^ 0x66) spaced
+  // mutation_gap_us apart and install it on the engine before Run().
+  bool enable_mutations = false;
+  size_t num_mutations = 0;
+  double mutation_gap_us = 50.0;
+  // Minimum virtual/wall time between index-maintenance passes on the
+  // gossip cadence; 0 = refresh on every gossip tick.
+  double index_refresh_period_us = 0.0;
 };
 
 class ExperimentEnv {

@@ -52,6 +52,7 @@
 #include "src/util/stats.h"
 #include "src/util/table.h"
 #include "src/workload/datasets.h"
+#include "src/workload/mutations.h"
 #include "src/workload/open_loop.h"
 #include "src/workload/workload.h"
 

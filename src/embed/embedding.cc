@@ -294,6 +294,20 @@ bool GraphEmbedding::AddNodeIncremental(const Graph& g, NodeId u, LandmarkSet& l
   return true;
 }
 
+size_t GraphEmbedding::RefreshNodes(const Graph& g, std::span<const NodeId> nodes,
+                                    LandmarkSet& landmarks) {
+  size_t embedded = 0;
+  for (const NodeId u : nodes) {
+    if (u >= num_nodes() || IsEmbedded(u)) {
+      continue;
+    }
+    if (AddNodeIncremental(g, u, landmarks)) {
+      ++embedded;
+    }
+  }
+  return embedded;
+}
+
 double GraphEmbedding::MeasureRelativeError(const Graph& g, size_t samples,
                                             int32_t radius, Rng& rng) const {
   if (num_nodes() == 0 || samples == 0) {

@@ -68,6 +68,15 @@ class GraphEmbedding {
   // neighbour was known.
   bool AddNodeIncremental(const Graph& g, NodeId u, LandmarkSet& landmarks);
 
+  // Batch refresh for the engine's index-maintenance hook: embeds every
+  // not-yet-embedded node of `nodes` incrementally from its neighbours'
+  // estimates. Already-embedded nodes keep their coordinates — drift from
+  // edge churn is reconciled by periodic offline recomputes, as in the
+  // paper — so the pass stays cheap and stale-bounded. Returns how many
+  // nodes were newly embedded.
+  size_t RefreshNodes(const Graph& g, std::span<const NodeId> nodes,
+                      LandmarkSet& landmarks);
+
   // Mean relative error |d_graph - d_embed| / d_graph over sampled node
   // pairs within `radius` hops of each other (Figure 12(a)'s metric).
   double MeasureRelativeError(const Graph& g, size_t samples, int32_t radius,

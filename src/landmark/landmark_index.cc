@@ -193,4 +193,26 @@ void LandmarkIndex::RefreshAroundEdge(const Graph& g, NodeId u, NodeId v, int32_
   }
 }
 
+size_t LandmarkIndex::RefreshNodes(const Graph& g, std::span<const NodeId> nodes) {
+  size_t refreshed = 0;
+  for (const NodeId u : nodes) {
+    if (u >= node_count_) {
+      continue;
+    }
+    const auto est = landmarks_.EstimateDistances(g, u);
+    std::vector<uint16_t> merged(est.size());
+    bool any_known = false;
+    for (size_t l = 0; l < est.size(); ++l) {
+      merged[l] = std::min(est[l], landmarks_.Distance(l, u));
+      any_known = any_known || merged[l] != kUnreachableU16;
+    }
+    landmarks_.Assimilate(u, merged);
+    FillRow(u);
+    if (any_known) {
+      ++refreshed;
+    }
+  }
+  return refreshed;
+}
+
 }  // namespace grouting

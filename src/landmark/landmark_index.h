@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "src/graph/graph.h"
@@ -54,6 +55,14 @@ class LandmarkIndex {
   // the endpoint nodes and their neighbours up to `hops` away (paper: "their
   // neighbors up to a certain number of hops, e.g. 2-hops").
   void RefreshAroundEdge(const Graph& g, NodeId u, NodeId v, int32_t hops = 2);
+
+  // Batch refresh for the engine's index-maintenance hook: re-estimates
+  // each listed node from its current neighbours, min-merging with what is
+  // already known (same rule as RefreshAroundEdge — estimates can only
+  // improve stored distances), and refills its d(u,p) row. Unknown nodes
+  // take the plain incremental-insertion path. Returns how many nodes
+  // ended up with at least one known landmark distance.
+  size_t RefreshNodes(const Graph& g, std::span<const NodeId> nodes);
 
   // Router-resident storage (Table 3): the n x P distance table.
   uint64_t RouterStorageBytes() const {

@@ -58,6 +58,21 @@ struct CostModel {
   // ClusterMetrics::repartition_stall_us accumulates in virtual time.
   double migration_per_key_us = 0.3;
 
+  // --- Online mutations (StorageTier::ApplyMutation) ---
+  // Fixed cost to apply one mutation (version bump, write-path handshake),
+  // charged in virtual time to the mutated key's owning server; with
+  // replicas, every copy is written inside the same charge.
+  double mutation_base_us = 3.0;
+  // Per-blob cost of one versioned adjacency write (re-encode + store).
+  // An edge mutation rewrites two blobs (both endpoint halves), a vertex
+  // add one per tenant.
+  double mutation_per_write_us = 0.8;
+  // Incremental index maintenance (landmark re-estimate + embedding
+  // coordinate solve), charged on the gossip cadence: fixed cost per
+  // refresh pass plus a per-refreshed-node term.
+  double index_refresh_base_us = 2.0;
+  double index_refresh_per_node_us = 0.5;
+
   // --- Processing tier ---
   // Traversal compute per visited node (neighbour iteration, aggregation).
   double compute_per_node_us = 0.40;

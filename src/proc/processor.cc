@@ -18,7 +18,7 @@ size_t ResolveMigratedMisses(StorageTier* storage, std::span<const NodeId> keys,
                              std::vector<AdjacencyPtr>* values) {
   GROUTING_CHECK(keys.size() == values->size());
   const PartitionMap* map = storage->partition_map();
-  if (map == nullptr) {
+  if (map == nullptr && !storage->mutations_enabled()) {
     return 0;
   }
   size_t resolved = 0;
@@ -31,19 +31,25 @@ size_t ResolveMigratedMisses(StorageTier* storage, std::span<const NodeId> keys,
     // stable around a null read. The stamp's version half catches even a
     // partition that moved away and back (ABA) during the read; only a
     // null under an unchanged stamp is a genuine miss — anything else
-    // means the key moved mid-read and the then-current owner has it. The
-    // read is the stats-free PeekCurrent: the raced batch already counted
-    // this key as workload traffic once.
+    // means the key moved mid-read and the then-current owner has it.
+    // With mutations on, the mutation version must be stable too: a node
+    // materialised (kAddVertex) during a migration or replica promotion
+    // can land its blob under an unchanged owner stamp, and a stamp-only
+    // check would wrongly conclude "stable null" for a key that now
+    // exists. The read is the stats-free PeekCurrent: the raced batch
+    // already counted this key as workload traffic once.
     for (;;) {
-      const uint64_t stamp = map->OwnerStampOf(keys[k]);
+      const uint64_t stamp = map != nullptr ? map->OwnerStampOf(keys[k]) : 0;
+      const uint64_t version = storage->NodeVersion(keys[k]);
       AdjacencyPtr entry = storage->PeekCurrent(keys[k]);
       if (entry != nullptr) {
         (*values)[k] = std::move(entry);
         ++resolved;
         break;
       }
-      if (map->OwnerStampOf(keys[k]) == stamp) {
-        break;  // stable null: genuine miss
+      if ((map == nullptr || map->OwnerStampOf(keys[k]) == stamp) &&
+          storage->NodeVersion(keys[k]) == version) {
+        break;  // stable null: genuine miss (a truly withheld vertex)
       }
     }
   }
@@ -83,11 +89,14 @@ void CachedStorageSource::CompleteOldest(std::vector<Inflight>* inflight,
   // Under repartitioning a batch can race a partition migration: the keys
   // moved between the ServerOf lookup that formed the batch and its
   // service. Null slots are re-resolved through the tier's current map, so
-  // the values are still delivered exactly once. The copy is paid only
-  // when a batch actually came back with a hole — on the common all-present
-  // path (and always when repartitioning is off) this is a read-only scan.
+  // the values are still delivered exactly once. Mutations open the same
+  // hole without any migration — a kAddVertex can land between batch
+  // formation and service — so the heal also runs when mutations are on.
+  // The copy is paid only when a batch actually came back with a hole — on
+  // the common all-present path (and always when both features are off)
+  // this is a read-only scan.
   std::vector<AdjacencyPtr> patched;
-  if (storage_->repartitioning_enabled() &&
+  if ((storage_->repartitioning_enabled() || storage_->mutations_enabled()) &&
       std::find(values->begin(), values->end(), nullptr) != values->end()) {
     patched = *values;
     ResolveMigratedMisses(storage_, batch.handle->keys(), &patched);
@@ -112,14 +121,19 @@ void CachedStorageSource::CompleteOldest(std::vector<Inflight>* inflight,
     level->fetched_edges += edges;
     const size_t pos = batch.positions[k];
     if (cache_ != nullptr) {
+      // Install under the version snapshot taken BEFORE the batch was
+      // issued (batch.versions, 0 with mutations off): a blob mutated
+      // while the batch was in flight installs with a stale snapshot and
+      // the next probe refetches it — never the other way around.
+      const uint64_t version = batch.versions.empty() ? 0 : batch.versions[k];
       if (cache_compressed_) {
         GROUTING_CHECK_MSG(entry->wire != nullptr,
                            "cache_compressed requires the storage tier's "
                            "retain-wire mode");
-        cache_->Put(Key(nodes[pos]), CachedAdjacency{nullptr, entry->wire},
+        cache_->Put(Key(nodes[pos]), CachedAdjacency{nullptr, entry->wire, version},
                     entry->wire->size());
       } else {
-        cache_->Put(Key(nodes[pos]), CachedAdjacency{entry, nullptr},
+        cache_->Put(Key(nodes[pos]), CachedAdjacency{entry, nullptr, version},
                     entry->SerializedBytes());
       }
     }
@@ -147,7 +161,14 @@ std::vector<AdjacencyPtr> CachedStorageSource::FetchBatch(std::span<const NodeId
     if (cache_ != nullptr) {
       ++trace_.cache_lookups;
       ++level.lookups;
-      if (auto hit = cache_->Get(Key(nodes[i])); hit.has_value()) {
+      // A hit only counts if its version snapshot is still current: a slot
+      // installed before a mutation of this key re-validates against the
+      // tier's live NodeVersion and, when stale, falls through to the miss
+      // path (the refetch overwrites the slot with the new blob). With
+      // mutations off both sides are 0 and the comparison is a no-op.
+      if (auto hit = cache_->Get(Key(nodes[i]));
+          hit.has_value() &&
+          hit->version == storage_->NodeVersion(Key(nodes[i]))) {
         ++trace_.cache_hits;
         ++level.hits;
         ++trace_.visited;
@@ -213,10 +234,17 @@ std::vector<AdjacencyPtr> CachedStorageSource::FetchBatch(std::span<const NodeId
       const uint32_t server = misses[i].first;
       Inflight batch;
       std::vector<NodeId> keys;
+      const bool versioned = storage_->mutations_enabled();
       while (i < misses.size() && misses[i].first == server) {
         const size_t pos = misses[i].second;
         keys.push_back(Key(nodes[pos]));
         batch.positions.push_back(pos);
+        if (versioned) {
+          // Snapshot BEFORE the multiget runs: the installed cache slot
+          // may under-claim its version (spurious refetch later) but can
+          // never claim a version newer than the blob it holds.
+          batch.versions.push_back(storage_->NodeVersion(Key(nodes[pos])));
+        }
         ++i;
       }
       if (inflight.size() >= window_) {

@@ -34,19 +34,29 @@ namespace grouting {
 // One processor-cache slot. Normal mode holds the decoded entry; compressed
 // mode (ProcessorConfig::cache_compressed) holds the wire blob instead —
 // charged at its encoded size against the byte budget, and decoded again on
-// every hit. Exactly one of the two pointers is set.
+// every hit. Exactly one of the two pointers is set. `version` is the
+// adjacency version snapshot taken BEFORE the blob was fetched (always 0
+// with mutations off): a probe re-validates it against the tier's current
+// NodeVersion, so a hit can never serve a list from before a mutation —
+// the snapshot may under-claim (forcing a spurious refetch) but never
+// over-claim.
 struct CachedAdjacency {
   AdjacencyPtr decoded;
   std::shared_ptr<const std::vector<uint8_t>> encoded;
+  uint64_t version = 0;
 };
 
 // Re-resolves multiget misses that raced a partition migration: a batch
 // formed against a server that lost its keys between the ServerOf lookup
 // and StartMultiGet comes back with nullptr slots; each null slot is
-// re-fetched through the tier's current partition map, retrying until the
-// owner stamp is stable around the read, so the answer is still delivered
-// exactly once — whatever migrations ran (or re-ran) meanwhile. Returns
-// the number of keys re-resolved; no-op when repartitioning is off.
+// re-fetched through the tier's current partition map, retrying until BOTH
+// the owner stamp and the key's mutation version are stable around the
+// read, so the answer is still delivered exactly once — whatever
+// migrations, promotions, or mutations ran (or re-ran) meanwhile. The
+// version half matters for a node mutated (or materialised) during a
+// migration or replica promotion: its owner stamp can be stable while the
+// blob only just landed. Returns the number of keys re-resolved; no-op
+// when repartitioning is off.
 size_t ResolveMigratedMisses(StorageTier* storage, std::span<const NodeId> keys,
                              std::vector<AdjacencyPtr>* values);
 
@@ -115,7 +125,13 @@ class CachedStorageSource : public NodeDataSource {
   struct Inflight {
     std::shared_ptr<MultiGetHandle> handle;
     std::vector<size_t> positions;  // result slots, parallel to handle keys
-    double issue_ts_us = 0.0;       // tracer timestamp at issue (if tracing)
+    // Per-key NodeVersion snapshots taken at batch formation, parallel to
+    // positions; empty with mutations off. Fetched values install into the
+    // cache under these (pre-fetch) snapshots so a mutation that lands
+    // while the batch is in flight invalidates the entry, never the
+    // reverse.
+    std::vector<uint64_t> versions;
+    double issue_ts_us = 0.0;  // tracer timestamp at issue (if tracing)
   };
 
   // Waits for the oldest in-flight batch and merges its values into

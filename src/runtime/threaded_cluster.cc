@@ -113,6 +113,9 @@ ThreadedCluster::~ThreadedCluster() {
   if (feeder_thread_.joinable()) {
     feeder_thread_.join();
   }
+  if (writer_thread_.joinable()) {
+    writer_thread_.join();
+  }
   for (auto& t : router_threads_) {
     if (t.joinable()) {
       t.join();
@@ -251,10 +254,42 @@ void ThreadedCluster::RouterShardLoop(uint32_t shard, std::span<const Query> sli
   }
 }
 
+void ThreadedCluster::WriterLoop(Clock::time_point epoch) {
+  for (const GraphMutation& m : mutation_schedule()) {
+    if (m.apply_us <= 0.0) {
+      continue;  // applied quiesced in Run(), before any thread spawned
+    }
+    if (shutdown_.load(std::memory_order_acquire)) {
+      break;  // destructor teardown mid-run: abandon the schedule
+    }
+    if (remaining_.load(std::memory_order_acquire) > 0) {
+      // Same pacing discipline as the feeder: sleep coarse, spin the last
+      // stretch to the entry's offset from the run epoch. A drained run
+      // (remaining_ == 0) stops pacing — the tail of the schedule applies
+      // back to back so both engines still apply every entry.
+      const auto target =
+          epoch +
+          std::chrono::nanoseconds(static_cast<int64_t>(m.apply_us * 1000.0));
+      auto now = Clock::now();
+      if (target - now > std::chrono::microseconds(200)) {
+        std::this_thread::sleep_until(target - std::chrono::microseconds(100));
+        now = Clock::now();
+      }
+      while (now < target && remaining_.load(std::memory_order_acquire) > 0) {
+        now = Clock::now();
+      }
+    }
+    ApplyOneMutation(m);
+  }
+}
+
 void ThreadedCluster::GossipLoop() {
   const auto period =
       std::chrono::duration<double, std::micro>(config_.gossip_period_us);
   const bool rebalance = adaptive_ && rebalance_.enabled();
+  // Time base for the index-refresh period gate (wall µs since the loop
+  // started — only differences are compared, so the epoch choice is free).
+  const auto gossip_epoch = Clock::now();
   std::vector<RoutingStrategy*> views;
   std::vector<const RoutingStrategy*> const_views;
   std::vector<uint64_t> loads(shards_.size(), 0);
@@ -297,6 +332,19 @@ void ThreadedCluster::GossipLoop() {
       if (!executed.empty()) {
         repartition_stall_us_ += ElapsedUs(mig_start, Clock::now());
       }
+    }
+    if (config_.enable_mutations) {
+      // Incremental index maintenance rides the same tick, like every
+      // other controller. The maintainer may touch routing-strategy index
+      // state (landmark distances, embedding coordinates), so the pass
+      // runs with EVERY shard mutex held — race-free against Route() on
+      // the shard threads, same fixed-order locking as the blend above.
+      std::vector<std::unique_lock<std::mutex>> locks;
+      locks.reserve(shards_.size());
+      for (auto& shard : shards_) {
+        locks.emplace_back(shard->mu);
+      }
+      RunIndexMaintenance(ElapsedUs(gossip_epoch, Clock::now()));
     }
     if (rebalance && !arrivals_done_.load(std::memory_order_acquire)) {
       // Adaptive re-splitting folded into the same tick: snapshot the
@@ -466,6 +514,11 @@ ClusterMetrics ThreadedCluster::Run(std::span<const Query> queries) {
   answers_.reserve(admission_plan_.admitted);
   remaining_.store(admission_plan_.admitted, std::memory_order_release);
 
+  // Quiesced mutation entries (apply_us <= 0) land now, before any worker
+  // thread exists — the deterministic mode the cross-engine parity tests
+  // run in. Timed entries are paced by the writer thread below.
+  ApplyQuiescedMutations();
+
   // Static splitters cut the arrival stream into per-shard slices up front
   // (deterministic in arrival order, same cut the simulated engine's fleet
   // makes). The adaptive splitter cannot pre-slice — session migrations
@@ -490,7 +543,8 @@ ClusterMetrics ThreadedCluster::Run(std::span<const Query> queries) {
                    (!shards_[0]->strategy->GossipState().empty() ||
                     (adaptive_ && rebalance_.enabled()));
   const bool gossip =
-      router_gossip_ || (repartition_enabled() && config_.gossip_period_us > 0.0);
+      router_gossip_ || ((repartition_enabled() || config_.enable_mutations) &&
+                         config_.gossip_period_us > 0.0);
 
   const auto start = Clock::now();
   if (tracer_ != nullptr) {
@@ -531,6 +585,9 @@ ClusterMetrics ThreadedCluster::Run(std::span<const Query> queries) {
   if (use_feeder_) {
     feeder_thread_ = std::thread([this, queries] { FeederLoop(queries); });
   }
+  if (config_.enable_mutations && !mutation_schedule().empty()) {
+    writer_thread_ = std::thread([this, start] { WriterLoop(start); });
+  }
   if (gossip) {
     gossip_thread_ = std::thread([this] { GossipLoop(); });
   }
@@ -548,6 +605,12 @@ ClusterMetrics ThreadedCluster::Run(std::span<const Query> queries) {
 
   if (feeder_thread_.joinable()) {
     feeder_thread_.join();
+  }
+  if (writer_thread_.joinable()) {
+    // The writer applies its remaining entries unpaced once the run has
+    // drained (remaining_ == 0 above), so this join is prompt and every
+    // schedule entry has been applied exactly once.
+    writer_thread_.join();
   }
   for (auto& t : router_threads_) {
     t.join();
@@ -607,6 +670,7 @@ ClusterMetrics ThreadedCluster::Run(std::span<const Query> queries) {
   m.router_load_imbalance = RoutedLoadImbalance(m.queries_per_router_shard);
   AddStorageTierStats(&m);
   m.repartition_stall_us = repartition_stall_us_;
+  AddMutationStats(&m);
   FillTenantMetrics(&m, tenant_response_us, tenant_queries, admission_plan_);
   return m;
 }

@@ -104,6 +104,14 @@ class ThreadedCluster : public ClusterEngine {
   void GossipLoop();
   void ProcessorLoop(uint32_t p);
   void FetchLoop(uint32_t p);
+  // Mutation writer thread (config.enable_mutations with a timed schedule):
+  // walks the schedule's apply_us > 0 entries in order, pacing each to its
+  // offset from the run epoch — the wall-clock counterpart of the sim's
+  // virtual-time mutation events — and applies it against the live tier
+  // while processor / fetch / gossip threads keep serving. Once the run has
+  // drained, remaining entries apply immediately (unpaced), so every
+  // schedule entry is applied exactly once on both engines.
+  void WriterLoop(Clock::time_point epoch);
   bool StealInto(uint32_t thief, Routed* out);
 
   // One router shard: its own strategy instance behind its own mutex. The
@@ -149,6 +157,7 @@ class ThreadedCluster : public ClusterEngine {
   AdmissionPlan admission_plan_;
   std::vector<std::unique_ptr<MpmcQueue<Query>>> arrival_channels_;
   std::thread feeder_thread_;
+  std::thread writer_thread_;
   std::atomic<bool> arrivals_done_{false};
   std::atomic<uint64_t> sessions_migrated_{0};
 

@@ -36,6 +36,28 @@ ClusterMetrics DecoupledClusterSim::Run(std::span<const Query> queries) {
   tenant_queries_.assign(config_.num_tenants, 0);
   answers_.reserve(plan.admitted);
 
+  // Mutation schedule: quiesced entries (apply_us <= 0) land before the
+  // first arrival event exists; timed entries become virtual-time events
+  // that apply functionally at their instant (the event loop is the only
+  // executor) and charge the write cost to the mutated key's owning
+  // server — queries whose batches land there queue behind the write.
+  ApplyQuiescedMutations();
+  for (const GraphMutation& mut : mutation_schedule()) {
+    if (mut.apply_us <= 0.0) {
+      continue;
+    }
+    events_.ScheduleAt(mut.apply_us, [this, mut] {
+      const uint64_t writes = ApplyOneMutation(mut);
+      const CostModel& cm = config_.cost;
+      const SimTimeUs cost =
+          cm.mutation_base_us +
+          cm.mutation_per_write_us * static_cast<double>(writes);
+      const uint32_t s = storage_->ServerOf(mut.u);
+      const SimTimeUs start = std::max(events_.now(), server_busy_until_[s]);
+      server_busy_until_[s] = start + cost;
+    });
+  }
+
   std::unordered_map<uint64_t, SimTimeUs> arrival_time;
   arrival_time.reserve(plan.admitted);
 
@@ -94,9 +116,12 @@ ClusterMetrics DecoupledClusterSim::Run(std::span<const Query> queries) {
   // Load/EMA gossip between router shards — and the storage-tier
   // repartition rounds that ride the same cadence — as recurring
   // virtual-time events. Repartitioning alone (single router shard) still
-  // needs the tick chain, gated on a positive period exactly like gossip.
+  // needs the tick chain, gated on a positive period exactly like gossip;
+  // so does incremental index maintenance, which drains mutation-dirtied
+  // nodes at each tick.
   if (fleet_->gossip_enabled() ||
-      (repartition_enabled() && config_.gossip_period_us > 0.0)) {
+      ((repartition_enabled() || config_.enable_mutations) &&
+       config_.gossip_period_us > 0.0)) {
     // The tick chain stops when the ADMITTED queries drain — shed arrivals
     // never produce an answer.
     events_.ScheduleAt(config_.gossip_period_us,
@@ -131,6 +156,7 @@ ClusterMetrics DecoupledClusterSim::Run(std::span<const Query> queries) {
   m.decompress_us = decompress_us_;
   AddStorageTierStats(&m);
   m.repartition_stall_us = repartition_stall_us_;
+  AddMutationStats(&m);
   FillTenantMetrics(&m, tenant_response_us_, tenant_queries_, plan);
   return m;
 }
@@ -170,7 +196,21 @@ void DecoupledClusterSim::GossipTick(size_t total_queries) {
       }
     }
   }
-  events_.ScheduleAfter(config_.gossip_period_us,
+  // Incremental index maintenance rides the same tick: drain the nodes
+  // mutations dirtied since the last pass and model the controller being
+  // busy re-estimating by pushing the NEXT tick out by the refresh cost —
+  // deterministic, and off every query's critical path (the paper's
+  // controllers gossip asynchronously).
+  SimTimeUs refresh_delay = 0.0;
+  if (config_.enable_mutations) {
+    const uint64_t refreshed = RunIndexMaintenance(events_.now());
+    if (refreshed > 0) {
+      refresh_delay =
+          config_.cost.index_refresh_base_us +
+          config_.cost.index_refresh_per_node_us * static_cast<double>(refreshed);
+    }
+  }
+  events_.ScheduleAfter(config_.gossip_period_us + refresh_delay,
                         [this, total_queries] { GossipTick(total_queries); });
 }
 

@@ -1,5 +1,6 @@
 #include "src/storage/storage_tier.h"
 
+#include <algorithm>
 #include <thread>
 
 namespace grouting {
@@ -90,6 +91,44 @@ void StorageTier::LoadGraph(const Graph& g) {
   }
 }
 
+void StorageTier::LoadGraphSubset(const Graph& g, std::span<const uint8_t> keep) {
+  GROUTING_CHECK(keep.size() == g.num_nodes());
+  GROUTING_CHECK_MSG(mutations_enabled(),
+                     "LoadGraphSubset requires EnableMutations (the withheld "
+                     "nodes can only materialise through ApplyMutation)");
+  explicit_placement_.clear();
+  if (partition_map_ != nullptr) {
+    partition_keys_.assign(partition_map_->num_partitions(), {});
+  }
+  const uint64_t stride = g.num_nodes();
+  GROUTING_CHECK_MSG(
+      static_cast<uint64_t>(num_tenants_) * stride <=
+          static_cast<uint64_t>(kInvalidNode),
+      "tenant keyspaces overflow the node-id space");
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    std::vector<uint8_t> blob;
+    if (keep[u] != 0) {
+      blob = EncodeAdjacency(g, u, encoding_);
+    }
+    for (uint32_t t = 0; t < num_tenants_; ++t) {
+      const NodeId key =
+          static_cast<NodeId>(static_cast<uint64_t>(u) + t * stride);
+      // Withheld keys still join their partition's key list: when a later
+      // kAddVertex materialises them, migrations and replica fills must
+      // move them like any other key (absent keys are skipped by PeekBlob).
+      if (partition_map_ != nullptr) {
+        partition_keys_[partition_map_->PartitionOf(key)].push_back(key);
+      }
+      if (keep[u] == 0) {
+        continue;
+      }
+      logical_bytes_loaded_ += g.AdjacencyBytes(u);
+      encoded_bytes_loaded_ += blob.size();
+      servers_[ServerOf(key)]->Load(key, blob);
+    }
+  }
+}
+
 void StorageTier::LoadGraph(const Graph& g, const PartitionAssignment& placement) {
   GROUTING_CHECK(placement.size() == g.num_nodes());
   GROUTING_CHECK_MSG(partition_map_ == nullptr,
@@ -172,14 +211,23 @@ AdjacencyPtr StorageTier::Get(NodeId node) {
     partition_monitor_->Record(partition_map_->PartitionOf(node));
   }
   AdjacencyPtr value = servers_[ReadServerOf(node)]->Get(node);
-  if (value == nullptr && partition_map_ != nullptr) {
-    // Raced a migration or demotion flip: re-resolve through the current
-    // primary until the value lands or the stamp proves a genuine miss
-    // (same stamp-stable loop as ResolveMigratedMisses in src/proc/).
+  if (value == nullptr && (partition_map_ != nullptr || mutations_enabled())) {
+    // Raced a migration/demotion flip — or a concurrent kAddVertex
+    // materialising the node. Re-resolve through the current primary until
+    // the value lands or BOTH the owner stamp and the node's mutation
+    // version prove the miss genuine (same dual-stamp-stable loop as
+    // ResolveMigratedMisses in src/proc/): a stable owner stamp alone no
+    // longer suffices, because a mutation writes the blob without moving
+    // the partition.
     for (;;) {
-      const uint64_t stamp = partition_map_->OwnerStampOf(node);
+      const uint64_t stamp =
+          partition_map_ != nullptr ? partition_map_->OwnerStampOf(node) : 0;
+      const uint64_t version = NodeVersion(node);
       value = PeekCurrent(node);
-      if (value != nullptr || partition_map_->OwnerStampOf(node) == stamp) {
+      if (value != nullptr ||
+          ((partition_map_ == nullptr ||
+            partition_map_->OwnerStampOf(node) == stamp) &&
+           NodeVersion(node) == version)) {
         break;
       }
     }
@@ -237,6 +285,27 @@ void StorageTier::EnableReplication() {
 
 StorageTier::MigrationResult StorageTier::AddReplica(uint32_t partition,
                                                      uint32_t server) {
+  // All structural moves and mutations serialise on write_mu_: a mutation
+  // can never land mid-copy (and be lost on the destination), and a
+  // just-deleted copy can never resurrect a stale blob.
+  std::lock_guard<std::mutex> lock(write_mu_);
+  return AddReplicaLocked(partition, server);
+}
+
+StorageTier::MigrationResult StorageTier::RemoveReplica(uint32_t partition,
+                                                        uint32_t server) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  return RemoveReplicaLocked(partition, server);
+}
+
+StorageTier::MigrationResult StorageTier::MigratePartition(uint32_t partition,
+                                                           uint32_t to) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  return MigratePartitionLocked(partition, to);
+}
+
+StorageTier::MigrationResult StorageTier::AddReplicaLocked(uint32_t partition,
+                                                           uint32_t server) {
   GROUTING_CHECK(replication_on_);
   GROUTING_CHECK(partition < partition_map_->num_partitions());
   GROUTING_CHECK(server < servers_.size());
@@ -272,8 +341,8 @@ StorageTier::MigrationResult StorageTier::AddReplica(uint32_t partition,
   return result;
 }
 
-StorageTier::MigrationResult StorageTier::RemoveReplica(uint32_t partition,
-                                                        uint32_t server) {
+StorageTier::MigrationResult StorageTier::RemoveReplicaLocked(uint32_t partition,
+                                                              uint32_t server) {
   GROUTING_CHECK(replication_on_);
   GROUTING_CHECK(partition < partition_map_->num_partitions());
   GROUTING_CHECK(server < servers_.size());
@@ -303,8 +372,8 @@ StorageTier::MigrationResult StorageTier::RemoveReplica(uint32_t partition,
   return result;
 }
 
-StorageTier::MigrationResult StorageTier::MigratePartition(uint32_t partition,
-                                                           uint32_t to) {
+StorageTier::MigrationResult StorageTier::MigratePartitionLocked(uint32_t partition,
+                                                                 uint32_t to) {
   GROUTING_CHECK(partition_map_ != nullptr);
   GROUTING_CHECK(partition < partition_map_->num_partitions());
   GROUTING_CHECK(to < servers_.size());
@@ -319,8 +388,9 @@ StorageTier::MigrationResult StorageTier::MigratePartition(uint32_t partition,
   // torn down first (planner rounds never migrate replicated partitions —
   // this path serves direct callers such as the coherence model checker).
   while (partition_map_->replica_count(partition) > 0) {
-    RemoveReplica(partition,
-                  PartitionMap::StampReplica(partition_map_->ReplicaStamp(partition), 0));
+    RemoveReplicaLocked(
+        partition,
+        PartitionMap::StampReplica(partition_map_->ReplicaStamp(partition), 0));
   }
   StorageServer& src = *servers_[result.from];
   StorageServer& dst = *servers_[to];
@@ -360,6 +430,96 @@ StorageTier::MigrationResult StorageTier::MigratePartition(uint32_t partition,
   }
   result.keys_moved = moved.size();
   return result;
+}
+
+void StorageTier::EnableMutations(const Graph& g) {
+  universe_graph_ = &g;
+  universe_nodes_ = g.num_nodes();
+  const uint64_t total = universe_nodes_ * num_tenants_;
+  GROUTING_CHECK(total > 0);
+  node_version_ = std::make_unique<std::atomic<uint64_t>[]>(total);
+  for (uint64_t i = 0; i < total; ++i) {
+    node_version_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void StorageTier::WriteVersionedLocked(NodeId key, std::span<const uint8_t> blob) {
+  // Publish order: every copy first, version bump LAST. A reader snapshots
+  // the version BEFORE fetching, so whatever blob it then reads is at least
+  // as new as the snapshot — a cache entry can under-claim its version
+  // (spurious refetch) but never over-claim it (stale hit).
+  servers_[ServerOf(key)]->Load(key, blob);
+  if (replication_on_) {
+    const uint32_t q = partition_map_->PartitionOf(key);
+    const uint64_t rep = partition_map_->ReplicaStamp(q);
+    const uint32_t count = PartitionMap::StampReplicaCount(rep);
+    for (uint32_t i = 0; i < count; ++i) {
+      servers_[PartitionMap::StampReplica(rep, i)]->Load(key, blob);
+    }
+  }
+  node_version_[key].fetch_add(1, std::memory_order_release);
+}
+
+uint64_t StorageTier::MutateEdgeHalfLocked(NodeId key, NodeId other, Label label,
+                                           bool insert, bool out) {
+  const auto blob = servers_[ServerOf(key)]->PeekBlob(key);
+  if (!blob.has_value()) {
+    return 0;  // withheld endpoint: the edge lives in the universe graph
+  }
+  const AdjacencyPtr current = DecodeAdjacency(*blob, /*retain_wire=*/false);
+  GROUTING_CHECK(current != nullptr);
+  AdjacencyEntry entry = *current;
+  entry.wire.reset();
+  entry.wire_bytes = 0;
+  std::vector<Edge>& list = out ? entry.out : entry.in;
+  const auto it = std::find_if(list.begin(), list.end(),
+                               [other](const Edge& e) { return e.dst == other; });
+  if (insert) {
+    if (it != list.end()) {
+      return 0;  // idempotent: the edge is already present
+    }
+    list.push_back(Edge{other, label});
+  } else {
+    if (it == list.end()) {
+      return 0;  // idempotent: nothing to remove
+    }
+    list.erase(it);
+  }
+  WriteVersionedLocked(key, EncodeAdjacency(entry, encoding_));
+  return 1;
+}
+
+uint64_t StorageTier::ApplyMutation(const GraphMutation& m) {
+  GROUTING_CHECK_MSG(mutations_enabled(),
+                     "ApplyMutation requires EnableMutations first");
+  std::lock_guard<std::mutex> lock(write_mu_);
+  uint64_t writes = 0;
+  // One logical mutation lands in every tenant keyspace — the federation
+  // stores per-tenant copies of the same graph, so the copies stay
+  // identical under updates.
+  for (uint32_t t = 0; t < num_tenants_; ++t) {
+    const uint64_t off = static_cast<uint64_t>(t) * universe_nodes_;
+    switch (m.kind) {
+      case GraphMutation::Kind::kAddVertex: {
+        GROUTING_CHECK(m.u < universe_nodes_);
+        const auto blob = EncodeAdjacency(*universe_graph_, m.u, encoding_);
+        WriteVersionedLocked(static_cast<NodeId>(m.u + off), blob);
+        ++writes;
+        break;
+      }
+      case GraphMutation::Kind::kAddEdge:
+      case GraphMutation::Kind::kRemoveEdge: {
+        GROUTING_CHECK(m.u < universe_nodes_ && m.v < universe_nodes_);
+        const bool insert = m.kind == GraphMutation::Kind::kAddEdge;
+        writes += MutateEdgeHalfLocked(static_cast<NodeId>(m.u + off), m.v,
+                                       m.label, insert, /*out=*/true);
+        writes += MutateEdgeHalfLocked(static_cast<NodeId>(m.v + off), m.u,
+                                       m.label, insert, /*out=*/false);
+        break;
+      }
+    }
+  }
+  return writes;
 }
 
 std::vector<uint64_t> StorageTier::GetRequestsPerServer() const {

@@ -203,6 +203,22 @@ class BatchFetchExecutor {
   virtual void Submit(std::shared_ptr<MultiGetHandle> handle) = 0;
 };
 
+// One online graph mutation against the logical node universe [0, num_nodes)
+// of the loaded graph. kAddVertex materialises a node that was withheld at
+// load time (LoadGraphSubset), writing its full adjacency blob; kAddEdge /
+// kRemoveEdge rewrite BOTH endpoints' adjacency lists (u's out-list and v's
+// in-list) as versioned single-key writes. apply_us is the schedule time:
+// virtual µs on the simulated engine, wall µs from the run epoch on the
+// threaded engine; <= 0 applies before the first arrival (quiesced).
+struct GraphMutation {
+  enum class Kind : uint8_t { kAddVertex, kAddEdge, kRemoveEdge };
+  Kind kind = Kind::kAddVertex;
+  NodeId u = 0;
+  NodeId v = kInvalidNode;     // edge endpoint; unused for kAddVertex
+  Label label = kNoLabel;      // edge label written on kAddEdge
+  double apply_us = 0.0;
+};
+
 class StorageTier {
  public:
   explicit StorageTier(size_t num_servers, uint32_t hash_seed = 0x9747b28cu);
@@ -212,6 +228,15 @@ class StorageTier {
   // configured wire encoding (set_encoding, before load).
   void LoadGraph(const Graph& g);
   void LoadGraph(const Graph& g, const PartitionAssignment& placement);
+
+  // Mutation-path load: writes blobs only for nodes with keep[u] != 0 but
+  // registers the ENTIRE node universe with the partition map, so nodes
+  // materialised later by ApplyMutation(kAddVertex) migrate and replicate
+  // like any other key (migration copies already skip absent keys). Present
+  // nodes keep their FULL adjacency (edges to withheld neighbours included)
+  // — a traversal reaching a withheld node simply sees it as absent until a
+  // kAddVertex lands. Requires EnableMutations first.
+  void LoadGraphSubset(const Graph& g, std::span<const uint8_t> keep);
 
   // Wire encoding for subsequently loaded blobs (decode auto-detects, so
   // changing it mid-life only affects new writes).
@@ -347,7 +372,54 @@ class StorageTier {
   // numerator/denominator).
   std::vector<uint64_t> GetRequestsPerServer() const;
 
+  // --- Online graph mutations (versioned adjacency writes) ---------------
+  //
+  // EnableMutations pins the mutation universe to `g` (kAddVertex blob
+  // content comes from it) and allocates one monotonic version counter per
+  // global key (num_tenants x num_nodes). Call after set_num_tenants and
+  // before LoadGraph / LoadGraphSubset. The graph must outlive the tier.
+  void EnableMutations(const Graph& g);
+  bool mutations_enabled() const { return node_version_ != nullptr; }
+
+  // Current version stamp of a global key: 0 until the first mutation
+  // touches it (and always 0 with mutations off, so version comparisons
+  // degenerate to no-ops on the read path). Monotonic per key; bumped AFTER
+  // the new blob is visible on every holder, so a reader that snapshots the
+  // version BEFORE fetching can never associate a new version with an old
+  // blob — the invariant the compressed-cache staleness check rests on.
+  uint64_t NodeVersion(NodeId key) const {
+    return node_version_ == nullptr
+               ? 0
+               : node_version_[key].load(std::memory_order_acquire);
+  }
+
+  // Applies one mutation to every tenant keyspace: encodes the new
+  // adjacency under the active encoding, writes it to the owner AND every
+  // current replica of the key's partition, then bumps the key's version.
+  // Serialised against MigratePartition / AddReplica / RemoveReplica by the
+  // tier's write mutex, so a write can never be lost mid-copy and a deleted
+  // replica copy can never resurrect. Readers never take that lock. An edge
+  // half whose endpoint blob is absent (withheld node) is dropped — the
+  // edge is already in the universe graph the node materialises from.
+  // Returns the number of key blobs rewritten.
+  uint64_t ApplyMutation(const GraphMutation& m);
+
  private:
+  // Unlocked bodies; the public entry points (and ApplyMutation) hold
+  // write_mu_. MigratePartitionLocked tears down replicas via
+  // RemoveReplicaLocked, which is why the lock cannot simply be recursive
+  // at the public boundary.
+  MigrationResult MigratePartitionLocked(uint32_t partition, uint32_t to);
+  MigrationResult AddReplicaLocked(uint32_t partition, uint32_t server);
+  MigrationResult RemoveReplicaLocked(uint32_t partition, uint32_t server);
+  // Writes `blob` for `key` to the owner and every current replica, then
+  // bumps the key's version. Caller holds write_mu_.
+  void WriteVersionedLocked(NodeId key, std::span<const uint8_t> blob);
+  // Rewrites one endpoint's adjacency half for an edge mutation (u's
+  // out-list when `out`, else v's in-list). Returns 1 if a blob was
+  // rewritten, 0 if the endpoint is absent. Caller holds write_mu_.
+  uint64_t MutateEdgeHalfLocked(NodeId key, NodeId other, Label label, bool insert,
+                                bool out);
   std::vector<std::unique_ptr<StorageServer>> servers_;
   HashPartitioner hasher_;
   AdjacencyEncoding encoding_ = AdjacencyEncoding::kRaw;
@@ -372,9 +444,17 @@ class StorageTier {
   // Per-partition key lists, built once at LoadGraph when repartitioning is
   // on. Partition membership is a pure hash of the key and the tier's key
   // population is fixed after load (only migrations move keys between
-  // servers), so each migration walks exactly its partition's keys instead
-  // of scanning the whole source server under its mutex.
+  // servers; LoadGraphSubset registers withheld keys up front), so each
+  // migration walks exactly its partition's keys instead of scanning the
+  // whole source server under its mutex.
   std::vector<std::vector<NodeId>> partition_keys_;
+  // Mutation state (EnableMutations). write_mu_ serialises mutations with
+  // the copy/flip/drain/delete machinery; node_version_ is one atomic per
+  // global key.
+  mutable std::mutex write_mu_;
+  std::unique_ptr<std::atomic<uint64_t>[]> node_version_;
+  const Graph* universe_graph_ = nullptr;
+  uint64_t universe_nodes_ = 0;
 };
 
 }  // namespace grouting

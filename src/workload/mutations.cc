@@ -1,0 +1,129 @@
+#include "src/workload/mutations.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace grouting {
+namespace {
+
+// Draws a real edge of `g`: a uniform node with out-degree > 0 (bounded
+// retry — generated graphs are connected-ish, so a handful of probes
+// suffices; a degenerate edgeless graph falls back to a self-loop add,
+// which the tier treats as an ordinary insert). Returns {u, edge-index}.
+bool DrawUniverseEdge(const Graph& g, Rng& rng, NodeId* u, size_t* edge_index) {
+  const uint64_t n = g.num_nodes();
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const NodeId cand = static_cast<NodeId>(rng.NextBounded(n));
+    const auto out = g.OutNeighbors(cand);
+    if (!out.empty()) {
+      *u = cand;
+      *edge_index = rng.NextBounded(out.size());
+      return true;
+    }
+  }
+  return false;
+}
+
+GraphMutation::Kind DrawKind(const MutationScheduleConfig& config,
+                             bool vertex_adds_left, Rng& rng) {
+  const double wv = vertex_adds_left ? config.weight_add_vertex : 0.0;
+  const double total = wv + config.weight_add_edge + config.weight_remove_edge;
+  GROUTING_CHECK_MSG(total > 0.0, "mutation kind weights must not all be zero");
+  const double r = rng.NextDouble() * total;
+  if (r < wv) {
+    return GraphMutation::Kind::kAddVertex;
+  }
+  if (r < wv + config.weight_add_edge) {
+    return GraphMutation::Kind::kAddEdge;
+  }
+  return GraphMutation::Kind::kRemoveEdge;
+}
+
+GraphMutation DrawEdgeMutation(const Graph& g, GraphMutation::Kind kind, Rng& rng) {
+  GraphMutation m;
+  m.kind = kind;
+  NodeId u = 0;
+  size_t edge_index = 0;
+  if (DrawUniverseEdge(g, rng, &u, &edge_index)) {
+    const Edge e = g.OutNeighbors(u)[edge_index];
+    m.u = u;
+    m.v = e.dst;
+    m.label = e.label;
+  } else {
+    m.u = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    m.v = m.u;  // edgeless graph: a self-loop keeps the schedule total
+  }
+  return m;
+}
+
+}  // namespace
+
+std::vector<GraphMutation> GenerateMutationSchedule(
+    const Graph& g, std::span<const uint8_t> keep,
+    const MutationScheduleConfig& config) {
+  GROUTING_CHECK(g.num_nodes() > 0);
+  GROUTING_CHECK(keep.empty() || keep.size() == g.num_nodes());
+  Rng rng(config.seed);
+
+  // Withheld nodes, seeded-shuffled: each is materialised exactly once, in
+  // an order independent of how the kinds interleave.
+  std::vector<NodeId> hidden;
+  for (size_t u = 0; u < keep.size(); ++u) {
+    if (keep[u] == 0) {
+      hidden.push_back(static_cast<NodeId>(u));
+    }
+  }
+  std::shuffle(hidden.begin(), hidden.end(), rng);
+  size_t next_hidden = 0;
+
+  std::vector<GraphMutation> schedule;
+  schedule.reserve(config.num_mutations);
+  for (size_t i = 0; i < config.num_mutations; ++i) {
+    const GraphMutation::Kind kind =
+        DrawKind(config, next_hidden < hidden.size(), rng);
+    GraphMutation m;
+    if (kind == GraphMutation::Kind::kAddVertex) {
+      m.kind = kind;
+      m.u = hidden[next_hidden++];
+    } else {
+      m = DrawEdgeMutation(g, kind, rng);
+    }
+    m.apply_us =
+        config.gap_us > 0.0 ? config.gap_us * static_cast<double>(i + 1) : 0.0;
+    schedule.push_back(m);
+  }
+  return schedule;
+}
+
+MixedWorkload GenerateMixedOpenLoopWorkload(const Graph& g,
+                                            const OpenLoopConfig& config,
+                                            double mutation_fraction,
+                                            const MutationScheduleConfig& mutation) {
+  GROUTING_CHECK(mutation_fraction >= 0.0 && mutation_fraction <= 1.0);
+  MixedWorkload out;
+  const std::vector<Query> arrivals = GenerateOpenLoopWorkload(g, config);
+  out.queries.reserve(arrivals.size());
+  Rng rng(mutation.seed);
+  for (const Query& q : arrivals) {
+    if (rng.NextDouble() < mutation_fraction) {
+      // No keep mask on the mixed stream — every node is preloaded, so a
+      // vertex add would rewrite an identical blob; the write mix is edge
+      // inserts/deletes over real universe edges.
+      const GraphMutation::Kind kind =
+          rng.NextDouble() * (mutation.weight_add_edge + mutation.weight_remove_edge) <
+                  mutation.weight_add_edge
+              ? GraphMutation::Kind::kAddEdge
+              : GraphMutation::Kind::kRemoveEdge;
+      GraphMutation m = DrawEdgeMutation(g, kind, rng);
+      m.apply_us = q.arrive_us;
+      out.mutations.push_back(m);
+    } else {
+      out.queries.push_back(q);
+    }
+  }
+  return out;
+}
+
+}  // namespace grouting

@@ -1,0 +1,82 @@
+// Mutation-schedule generators for the online write path (beyond the
+// paper's fig 10 protocol; ROADMAP's "online graph mutations with index
+// maintenance" axis):
+//
+//   * GenerateMutationSchedule — a standalone write schedule over the
+//     graph: vertex adds materialise withheld nodes of a keep mask in a
+//     deterministic shuffled order (the fig10 "preprocess X%, stream the
+//     rest" protocol), edge inserts/deletes toggle real universe edges so
+//     incremental index maintenance always reasons about edges the graph
+//     actually has.
+//   * GenerateMixedOpenLoopWorkload — the mixed read/write open-loop
+//     stream: a deterministic `mutation_fraction` of an open-loop arrival
+//     schedule is converted into writes at the same arrive_us instants,
+//     leaving the read arrivals' timestamps untouched.
+//
+// Both are pure and deterministic in their seeds; both engines consume the
+// same schedule (the sim as virtual-time events, the threaded runtime via
+// its writer thread), which is what the cross-engine mutation tests pin.
+
+#ifndef GROUTING_SRC_WORKLOAD_MUTATIONS_H_
+#define GROUTING_SRC_WORKLOAD_MUTATIONS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/query/query.h"
+#include "src/storage/storage_tier.h"
+#include "src/workload/open_loop.h"
+
+namespace grouting {
+
+struct MutationScheduleConfig {
+  // Schedule length. With a keep mask, vertex adds are capped at the number
+  // of withheld nodes (each is materialised exactly once).
+  size_t num_mutations = 256;
+  // Gap between consecutive timed entries: entry i applies at
+  // (i + 1) * gap_us (virtual µs on the sim, wall µs from the run epoch on
+  // the threaded engine). <= 0 = a fully quiesced schedule (every entry
+  // applies at the start of the run, before any query dispatch).
+  double gap_us = 50.0;
+  // Relative weights of the three mutation kinds. Vertex adds fall back to
+  // edge mutations once the keep mask's withheld nodes are exhausted (or
+  // when there is no mask — every node is then already materialised, and a
+  // kAddVertex would only rewrite an identical blob).
+  double weight_add_vertex = 1.0;
+  double weight_add_edge = 1.0;
+  double weight_remove_edge = 1.0;
+  uint64_t seed = 2024;
+};
+
+// Generates a deterministic mutation schedule over `g`. `keep` (optional,
+// same mask as ClusterConfig::mutation_preload_keep, sized num_nodes or
+// empty) marks the preloaded nodes: withheld ones (keep[u] == 0) are drawn
+// without replacement, in seeded shuffled order, as kAddVertex entries.
+// Edge entries pick a real edge of `g` (uniform endpoint with retry, then a
+// uniform out-edge) and carry its label, so a kRemoveEdge/kAddEdge pair
+// round-trips the stored adjacency exactly.
+std::vector<GraphMutation> GenerateMutationSchedule(
+    const Graph& g, std::span<const uint8_t> keep,
+    const MutationScheduleConfig& config);
+
+// Mixed read/write open-loop stream. One query/mutation schedule pair from
+// one arrival process: GenerateOpenLoopWorkload's arrivals are walked in
+// order and each becomes a write with probability `mutation_fraction`
+// (deterministic in `mutation_seed`), applying at that arrival's arrive_us;
+// the rest stay read queries with their original ids and timestamps. Kind
+// weights follow `mutation` (its num_mutations/gap_us are ignored — count
+// and timing come from the arrival process).
+struct MixedWorkload {
+  std::vector<Query> queries;
+  std::vector<GraphMutation> mutations;
+};
+MixedWorkload GenerateMixedOpenLoopWorkload(const Graph& g,
+                                            const OpenLoopConfig& config,
+                                            double mutation_fraction,
+                                            const MutationScheduleConfig& mutation);
+
+}  // namespace grouting
+
+#endif  // GROUTING_SRC_WORKLOAD_MUTATIONS_H_

@@ -63,6 +63,9 @@ void ExpectMetricsIdentical(const ClusterMetrics& a, const ClusterMetrics& b) {
   EXPECT_EQ(a.trace_events_recorded, b.trace_events_recorded);
   EXPECT_EQ(a.trace_events_dropped, b.trace_events_dropped);
   EXPECT_EQ(a.trace_buffer_high_water, b.trace_buffer_high_water);
+  EXPECT_EQ(a.mutations_applied, b.mutations_applied);
+  EXPECT_EQ(a.index_refreshes, b.index_refreshes);
+  EXPECT_EQ(a.stale_distance_error, b.stale_distance_error);
 }
 
 TEST(DeterminismTest, SimMetricsAreBitIdenticalAcrossRuns) {
@@ -96,6 +99,48 @@ TEST(DeterminismTest, SimMetricsAreBitIdenticalAcrossRuns) {
                    << "seed " << seed << ", scheme "
                    << RoutingSchemeKindName(scheme));
       EXPECT_EQ(first.queries, queries.size());
+      ExpectMetricsIdentical(first, second);
+    }
+  }
+}
+
+TEST(DeterminismTest, SimMetricsAreBitIdenticalUnderOnlineMutations) {
+  // Same invariant with the online write path live: timed mutation events
+  // interleave with queries, migrations, and replica churn in virtual time,
+  // and index maintenance runs on the gossip cadence — two identical runs
+  // must still agree on every counter and every double, last ulp included.
+  for (const uint64_t seed : kSeeds) {
+    ExperimentEnv env(DatasetId::kWebGraphLike, /*scale=*/0.06, seed);
+    const auto queries = env.SkewedWorkload(/*sessions=*/16, /*queries=*/150,
+                                            /*zipf_s=*/1.3);
+    for (const RoutingSchemeKind scheme : kAllSchemes) {
+      RunOptions opts;
+      opts.scheme = scheme;
+      opts.processors = 3;
+      opts.storage_servers = 4;
+      opts.num_landmarks = 12;
+      opts.min_separation = 2;
+      opts.dimensions = 4;
+      opts.cache_bytes = 32 << 10;
+      opts.max_inflight_batches = 2;
+      opts.repartition_threshold = 1.1;
+      opts.repartition_cap = 4;
+      opts.partitions_per_server = 4;
+      opts.replication_top_k = 2;
+      opts.gossip_period_us = 50.0;
+      opts.arrival_gap_us = 2.0;
+      opts.enable_mutations = true;
+      opts.num_mutations = 96;
+      opts.mutation_gap_us = 20.0;
+      opts.index_refresh_period_us = 100.0;
+
+      const ClusterMetrics first = env.Run(EngineKind::kSimulated, opts, queries);
+      const ClusterMetrics second = env.Run(EngineKind::kSimulated, opts, queries);
+      SCOPED_TRACE(::testing::Message()
+                   << "seed " << seed << ", scheme "
+                   << RoutingSchemeKindName(scheme));
+      EXPECT_EQ(first.queries, queries.size());
+      EXPECT_EQ(first.mutations_applied, 96u);
       ExpectMetricsIdentical(first, second);
     }
   }

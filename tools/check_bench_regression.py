@@ -70,6 +70,7 @@ def main():
 
     failures = []
     compared = 0
+    skipped = {}  # (file, metric) -> row count, for baselines predating a field
     for base_path in baselines:
         name = os.path.basename(base_path)
         cur_path = os.path.join(args.current, name)
@@ -90,6 +91,8 @@ def main():
             for metric, threshold in gates:
                 base_v, cur_v = base_row.get(metric), cur_row.get(metric)
                 if base_v is None or cur_v is None or base_v <= 0:
+                    if base_v is None:
+                        skipped[(name, metric)] = skipped.get((name, metric), 0) + 1
                     continue
                 compared += 1
                 ratio = cur_v / base_v
@@ -102,6 +105,9 @@ def main():
         for key in sorted(extra):
             print(f"{name}: new row {key} (no baseline yet)")
 
+    for (name, metric), count in sorted(skipped.items()):
+        print(f"{name}: {metric} absent from baseline on {count} row(s); "
+              f"skipped (reseed the baseline to gate it)")
     print(f"compared {compared} row-metrics against {len(baselines)} baseline files")
     if failures:
         print("\nREGRESSION GATE FAILED:")

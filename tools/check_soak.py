@@ -13,12 +13,16 @@ control behaved exactly as specified on every run:
     answered == sum(per-tenant queries),
   * across files (engines), per-tenant admitted/shed counts and the
     order-independent answer checksum are identical — both engines executed
-    the same admission plan and produced the same answers exactly once.
+    the same admission plan and produced the same answers exactly once,
+  * with --require-mutations, every run applied that exact number of online
+    mutations and the count is identical across engines — the write path
+    dropped nothing and duplicated nothing while queries were in flight.
 
 Usage:
   tools/check_soak.py soak/tenant_metrics_sim.json \
       soak/tenant_metrics_threaded.json \
-      [--expect-shed-tenants 0] [--max-shed-rate 0.6]
+      [--expect-shed-tenants 0] [--max-shed-rate 0.6] \
+      [--require-mutations 2000]
 """
 
 import argparse
@@ -68,6 +72,9 @@ def main():
                     help="comma-separated tenant ids allowed (and required) to shed")
     ap.add_argument("--max-shed-rate", type=float, default=0.6,
                     help="shed-rate bound for each expected over-quota tenant")
+    ap.add_argument("--require-mutations", type=int, default=None,
+                    help="exact mutations_applied every run must report "
+                         "(exactly-once writes under load)")
     args = ap.parse_args()
 
     expect_shed = {int(t) for t in args.expect_shed_tenants.split(",") if t != ""}
@@ -76,6 +83,12 @@ def main():
     failures = []
     for path, doc in docs:
         check_file(doc, path, expect_shed, args.max_shed_rate, failures)
+        if args.require_mutations is not None:
+            applied = doc.get("mutations_applied")
+            if applied != args.require_mutations:
+                failures.append(f"{path}: mutations_applied {applied} != "
+                                f"required {args.require_mutations} "
+                                f"(lost or duplicated writes)")
 
     # Cross-engine exactly-once: identical admission plan and answer set.
     ref_path, ref = docs[0]
@@ -88,6 +101,10 @@ def main():
         if counts != ref_counts:
             failures.append(f"{path}: per-tenant admitted/shed counts diverge "
                             f"from {ref_path}")
+        if doc.get("mutations_applied") != ref.get("mutations_applied"):
+            failures.append(f"{path}: mutations_applied "
+                            f"{doc.get('mutations_applied')} != {ref_path}'s "
+                            f"{ref.get('mutations_applied')}")
 
     for path, doc in docs:
         shed = doc["shed_total"]
@@ -95,6 +112,7 @@ def main():
         print(f"{path}: engine={doc['engine']} tenants={doc['tenants']} "
               f"arrivals={doc['arrivals']} answered={doc['answered']} "
               f"shed={shed} ({100 * rate:.1f}%) "
+              f"mutations={doc.get('mutations_applied', 0)} "
               f"checksum={doc['answer_checksum']}")
 
     if failures:
